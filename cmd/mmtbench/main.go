@@ -1,0 +1,25 @@
+// Command mmtbench regenerates every table and figure of the paper's
+// evaluation (§6), the extension studies, and the ablations, printing them
+// in order. With -out it also writes the report to a file.
+//
+// Usage:
+//
+//	mmtbench                     # everything (several minutes)
+//	mmtbench -only fig5a         # one artifact
+//	mmtbench -only mp,ablations  # extensions
+//	mmtbench -out report.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtbench:", err)
+		os.Exit(1)
+	}
+}

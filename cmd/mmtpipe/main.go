@@ -1,0 +1,23 @@
+// Command mmtpipe traces the pipeline cycle by cycle: per-cycle fetch/
+// rename/issue/commit bandwidth, fetch-group states, and divergence
+// events. It is the debugging companion to mmtsim.
+//
+// Usage:
+//
+//	mmtpipe -app equake -preset MMT-FXR -threads 2 -cycles 120
+//	mmtpipe -app twolf -from 500 -cycles 60 -dump 20
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunPipe(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtpipe:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command mmtprofile reproduces the paper's motivation study (§3): the
+// instruction-sharing breakdown of Figure 1 and the divergent-path-length
+// histogram of Figure 2, computed by aligning two contexts' functional
+// traces.
+//
+// Usage:
+//
+//	mmtprofile                 # all applications
+//	mmtprofile -app ammp       # one application
+//	mmtprofile -maxinsts 500000
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunProfile(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtprofile:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+// Command mmtsim runs one workload on one simulated core configuration and
+// prints detailed statistics.
+//
+// Usage:
+//
+//	mmtsim -app ammp -preset MMT-FXR -threads 2
+//	mmtsim -list
+//	mmtsim -app equake -disasm
+//	mmtsim -app equake -preset Base -threads 4 -fhb 64 -fetchwidth 16
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunSim(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtsim:", err)
+		os.Exit(1)
+	}
+}

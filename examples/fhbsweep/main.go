@@ -1,0 +1,56 @@
+// Design-space exploration: sweep the Fetch History Buffer size (the
+// remerge detector CAM) across all applications and print the Fig. 7(a)
+// and 7(c) views side by side — the tradeoff the paper discusses in §6.4:
+// bigger FHBs capture more remerge points but lengthen catchup episodes.
+//
+//	go run ./examples/fhbsweep            # three representative apps
+//	go run ./examples/fhbsweep -all       # all sixteen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mmt/internal/core"
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+func main() {
+	all := flag.Bool("all", false, "sweep every application")
+	flag.Parse()
+
+	apps := []string{"equake", "twolf", "water-sp"}
+	if *all {
+		apps = workloads.Names()
+	}
+
+	fmt.Printf("%-14s", "app")
+	for _, s := range sim.FHBSizes {
+		fmt.Printf("  %13d", s)
+	}
+	fmt.Println("\n" + "(each cell: speedup over Base, MERGE-mode residency)")
+
+	for _, name := range apps {
+		app, ok := workloads.ByName(name)
+		if !ok {
+			log.Fatalf("unknown app %s", name)
+		}
+		base, err := sim.Run(app, sim.PresetBase, 2, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", name)
+		for _, size := range sim.FHBSizes {
+			size := size
+			r, err := sim.Run(app, sim.PresetMMTFXR, 2, func(c *core.Config) { c.FHBSize = size })
+			if err != nil {
+				log.Fatal(err)
+			}
+			m, _, _ := r.Stats.FetchModeFractions()
+			fmt.Printf("  %5.3f %5.1f%%", sim.Speedup(base, r), 100*m)
+		}
+		fmt.Println()
+	}
+}

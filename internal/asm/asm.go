@@ -1,0 +1,359 @@
+// Package asm implements a two-pass assembler for the simulator's textual
+// assembly language. Workloads (internal/workloads), examples and tests are
+// written in this language.
+//
+// Syntax overview:
+//
+//	; comment           # comment
+//	        .equ  N, 64          ; named constant
+//	        .text                ; switch to text section (default)
+//	start:  li    r5, N*8        ; labels, pseudo-instructions, expressions
+//	loop:   addi  r5, r5, -1
+//	        bne   r5, r0, loop
+//	        halt
+//	        .data
+//	vec:    .word 1, 2, vec      ; 64-bit words (labels allowed)
+//	        .double 3.5, -0.25   ; float64 constants
+//	buf:    .space 256           ; zeroed bytes
+//	        .org  0x200000       ; move the data location counter
+//
+// Registers are written r0–r31 or by alias (zero, ra, sp). Memory operands
+// use displacement syntax: "ld r5, 16(r2)". Branch and jump targets are
+// labels or expressions evaluating to absolute instruction addresses.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+// Error is a source-located assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var regAliases = map[string]uint8{
+	"zero": isa.RegZero,
+	"ra":   isa.RegRA,
+	"sp":   isa.RegSP,
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// item is one parsed source statement scheduled for pass 2.
+type item struct {
+	line    int
+	sec     section
+	addr    uint64
+	mnem    string   // instruction mnemonic ("" for data items)
+	ops     []string // operand strings
+	words   []string // .word expressions
+	doubles []float64
+	space   uint64
+	size    uint64 // bytes this item occupies
+}
+
+// Assembler assembles one source file into a Program.
+type assembler struct {
+	name     string
+	syms     map[string]uint64
+	items    []item
+	codeBase uint64
+	textPos  uint64
+	dataPos  uint64
+	entry    string // entry label from .entry, or ""
+}
+
+// Assemble assembles src into a loaded Program named name at the default
+// text and data bases.
+func Assemble(name, src string) (*prog.Program, error) {
+	return AssembleAt(name, src, prog.CodeBase, prog.DataBase)
+}
+
+// AssembleAt assembles src with the given segment bases. Distinct bases
+// let several programs coexist in one simulated machine (multi-program
+// co-scheduling): branch targets are absolute, so placement happens at
+// assembly time.
+func AssembleAt(name, src string, codeBase, dataBase uint64) (*prog.Program, error) {
+	a := &assembler{
+		name:     name,
+		syms:     make(map[string]uint64),
+		codeBase: codeBase,
+		textPos:  codeBase,
+		dataPos:  dataBase,
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble is Assemble but panics on error; for known-good embedded
+// sources (workloads, tests).
+func MustAssemble(name, src string) *prog.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func (a *assembler) define(lineNo int, name string, val uint64) error {
+	if _, dup := a.syms[name]; dup {
+		return errf(lineNo, "symbol %q redefined", name)
+	}
+	a.syms[name] = val
+	return nil
+}
+
+// pass1 parses, lays out addresses, and records symbols.
+func (a *assembler) pass1(src string) error {
+	sec := secText
+	for lineNo, raw := range strings.Split(src, "\n") {
+		lineNo++ // 1-based
+		line := strings.TrimSpace(splitComment(raw))
+		// Peel off leading labels.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				break
+			}
+			pos := a.textPos
+			if sec == secData {
+				pos = a.dataPos
+			}
+			if err := a.define(lineNo, label, pos); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+
+		if strings.HasPrefix(mnem, ".") {
+			if err := a.directive(lineNo, &sec, mnem, rest); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Instruction (possibly pseudo). Determine its size in pass 1.
+		if sec != secText {
+			return errf(lineNo, "instruction %q in data section", mnem)
+		}
+		ops := splitOperands(rest)
+		n, err := a.instLen(lineNo, mnem, ops)
+		if err != nil {
+			return err
+		}
+		a.items = append(a.items, item{
+			line: lineNo, sec: secText, addr: a.textPos,
+			mnem: mnem, ops: ops, size: uint64(n) * isa.InstBytes,
+		})
+		a.textPos += uint64(n) * isa.InstBytes
+	}
+	return nil
+}
+
+func (a *assembler) directive(lineNo int, sec *section, mnem, rest string) error {
+	switch mnem {
+	case ".text":
+		*sec = secText
+	case ".data":
+		*sec = secData
+	case ".entry":
+		a.entry = strings.TrimSpace(rest)
+		if !isIdent(a.entry) {
+			return errf(lineNo, ".entry wants a label, got %q", rest)
+		}
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return errf(lineNo, ".equ wants name, value")
+		}
+		if !isIdent(parts[0]) {
+			return errf(lineNo, ".equ name %q invalid", parts[0])
+		}
+		v, err := a.eval(lineNo, parts[1])
+		if err != nil {
+			return err
+		}
+		if err := a.define(lineNo, parts[0], uint64(v)); err != nil {
+			return err
+		}
+	case ".org":
+		v, err := a.eval(lineNo, rest)
+		if err != nil {
+			return err
+		}
+		if *sec == secText {
+			return errf(lineNo, ".org is only supported in the data section (text must stay contiguous)")
+		}
+		a.dataPos = uint64(v)
+	case ".word":
+		if *sec != secData {
+			return errf(lineNo, ".word outside data section")
+		}
+		exprs := splitOperands(rest)
+		if len(exprs) == 0 {
+			return errf(lineNo, ".word wants at least one value")
+		}
+		a.items = append(a.items, item{
+			line: lineNo, sec: secData, addr: a.dataPos,
+			words: exprs, size: uint64(len(exprs)) * 8,
+		})
+		a.dataPos += uint64(len(exprs)) * 8
+	case ".double":
+		if *sec != secData {
+			return errf(lineNo, ".double outside data section")
+		}
+		var vals []float64
+		for _, s := range splitOperands(rest) {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return errf(lineNo, ".double: bad float %q", s)
+			}
+			vals = append(vals, f)
+		}
+		if len(vals) == 0 {
+			return errf(lineNo, ".double wants at least one value")
+		}
+		a.items = append(a.items, item{
+			line: lineNo, sec: secData, addr: a.dataPos,
+			doubles: vals, size: uint64(len(vals)) * 8,
+		})
+		a.dataPos += uint64(len(vals)) * 8
+	case ".space":
+		if *sec != secData {
+			return errf(lineNo, ".space outside data section")
+		}
+		v, err := a.eval(lineNo, rest)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return errf(lineNo, ".space: negative size")
+		}
+		a.items = append(a.items, item{
+			line: lineNo, sec: secData, addr: a.dataPos, space: uint64(v), size: uint64(v),
+		})
+		a.dataPos += uint64(v)
+	default:
+		return errf(lineNo, "unknown directive %q", mnem)
+	}
+	return nil
+}
+
+// pass2 encodes instructions and materializes data.
+func (a *assembler) pass2() (*prog.Program, error) {
+	p := &prog.Program{
+		Name:    a.name,
+		Base:    a.codeBase,
+		Entry:   a.codeBase,
+		Data:    prog.NewMemory(),
+		Symbols: a.syms,
+	}
+	if a.entry != "" {
+		addr, ok := a.syms[a.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: .entry label %q undefined", a.entry)
+		}
+		p.Entry = addr
+	}
+	for _, it := range a.items {
+		switch {
+		case it.mnem != "":
+			insts, err := a.encodeInst(it)
+			if err != nil {
+				return nil, err
+			}
+			want := (it.addr - p.Base) / isa.InstBytes
+			if uint64(len(p.Insts)) != want {
+				return nil, errf(it.line, "internal: text layout mismatch")
+			}
+			p.Insts = append(p.Insts, insts...)
+		case it.words != nil:
+			for k, expr := range it.words {
+				v, err := a.eval(it.line, expr)
+				if err != nil {
+					return nil, err
+				}
+				p.Data.Write64(it.addr+uint64(k)*8, uint64(v))
+			}
+		case it.doubles != nil:
+			for k, f := range it.doubles {
+				p.Data.Write64(it.addr+uint64(k)*8, math.Float64bits(f))
+			}
+		case it.space > 0:
+			// Zero by construction; touch the first word so the
+			// footprint reflects reserved space.
+			p.Data.Write64(it.addr, 0)
+		}
+	}
+	return p, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}

@@ -1,0 +1,477 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; sum the integers 1..10 into r5
+        .equ  N, 10
+start:  li    r5, 0
+        li    r6, N
+loop:   add   r5, r5, r6
+        addi  r6, r6, -1
+        bnez  r6, loop
+        halt
+`
+	p, err := Assemble("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != prog.CodeBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	if len(p.Insts) != 6 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	if _, ok := p.Symbol("loop"); !ok {
+		t.Error("label loop not in symbol table")
+	}
+	sys, err := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFunctional(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Contexts[0].State.Reg[5]; got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	src := `
+        li    r4, vec
+        ld    r5, 0(r4)
+        ld    r6, 8(r4)
+        add   r7, r5, r6
+        li    r4, pi
+        ld    r8, 0(r4)
+        halt
+        .data
+vec:    .word 40, 2, vec
+pi:     .double 3.5
+buf:    .space 64
+end:
+`
+	p, err := Assemble("data", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := p.Symbol("vec")
+	if vec != prog.DataBase {
+		t.Errorf("vec = %#x", vec)
+	}
+	if got := p.Data.Read64(vec + 16); got != vec {
+		t.Errorf("vec[2] = %#x, want label value %#x", got, vec)
+	}
+	bufSym, _ := p.Symbol("buf")
+	endSym, _ := p.Symbol("end")
+	if endSym-bufSym != 64 {
+		t.Errorf(".space sized %d", endSym-bufSym)
+	}
+	sys, err := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Contexts[0].State
+	if st.Reg[7] != 42 {
+		t.Errorf("r7 = %d", st.Reg[7])
+	}
+	if f := st.Reg[8]; f != p.Data.Read64(prog.DataBase+24) {
+		t.Errorf("double load mismatch")
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	src := `
+        li    r5, 7
+        mv    r6, r5
+        not   r7, r0
+        neg   r8, r5
+        li    r9, 0x123456789a   ; needs lui+ori
+        j     over
+        halt
+over:   call  fn
+        li    r20, 1
+        halt
+fn:     li    r10, 99
+        ret
+`
+	p, err := Assemble("pseudo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Contexts[0].State
+	if st.Reg[6] != 7 {
+		t.Errorf("mv: r6 = %d", st.Reg[6])
+	}
+	if st.Reg[7] != ^uint64(0) {
+		t.Errorf("not: r7 = %#x", st.Reg[7])
+	}
+	if int64(st.Reg[8]) != -7 {
+		t.Errorf("neg: r8 = %d", int64(st.Reg[8]))
+	}
+	if st.Reg[9] != 0x123456789a {
+		t.Errorf("big li: r9 = %#x", st.Reg[9])
+	}
+	if st.Reg[10] != 99 || st.Reg[20] != 1 {
+		t.Errorf("call/ret: r10=%d r20=%d", st.Reg[10], st.Reg[20])
+	}
+}
+
+func TestAssembleBranchPseudos(t *testing.T) {
+	src := `
+        li   r5, 3
+        li   r6, 5
+        bgt  r6, r5, a      ; 5 > 3: taken
+        halt
+a:      ble  r5, r6, b      ; 3 <= 5: taken
+        halt
+b:      li   r10, 1
+        halt
+`
+	p := MustAssemble("br", src)
+	sys, _ := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Contexts[0].State.Reg[10] != 1 {
+		t.Error("branch pseudos took wrong path")
+	}
+}
+
+func TestAssembleEntryDirective(t *testing.T) {
+	src := `
+        .entry main
+helper: halt
+main:   li r5, 1
+        halt
+`
+	p := MustAssemble("entry", src)
+	main, _ := p.Symbol("main")
+	if p.Entry != main {
+		t.Errorf("entry = %#x, want %#x", p.Entry, main)
+	}
+}
+
+func TestAssembleExpressions(t *testing.T) {
+	src := `
+        .equ  A, 6
+        .equ  B, A*7
+        li    r5, B
+        li    r6, (A+2)*4
+        li    r7, 1<<10
+        li    r8, 0xff
+        li    r9, -A
+        li    r10, 100/7
+        li    r11, 100%7
+        halt
+        .data
+        .org  0x300000
+tab:    .word A, B
+`
+	p := MustAssemble("expr", src)
+	sys, _ := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Contexts[0].State
+	checks := map[int]int64{5: 42, 6: 32, 7: 1024, 8: 255, 9: -6, 10: 14, 11: 2}
+	for r, want := range checks {
+		if int64(st.Reg[r]) != want {
+			t.Errorf("r%d = %d, want %d", r, int64(st.Reg[r]), want)
+		}
+	}
+	if tab, _ := p.Symbol("tab"); tab != 0x300000 {
+		t.Errorf(".org: tab = %#x", tab)
+	}
+	if got := p.Data.Read64(0x300008); got != 42 {
+		t.Errorf("tab[1] = %d", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown-inst", "frob r1, r2", "unknown instruction"},
+		{"bad-register", "add r1, r2, r99", "bad register"},
+		{"undefined-symbol", "li r1, nowhere", "undefined symbol"},
+		{"dup-label", "a: nop\na: nop", "redefined"},
+		{"inst-in-data", ".data\nadd r1, r2, r3", "data section"},
+		{"word-in-text", ".word 4", "outside data"},
+		{"org-in-text", ".org 0x5000", "only supported in the data section"},
+		{"wrong-arity", "add r1, r2", "wants 3 operands"},
+		{"bad-directive", ".bogus 1", "unknown directive"},
+		{"trailing-junk", "li r1, 2 3", "trailing junk"},
+		{"div-zero", "li r1, 4/0", "division by zero"},
+		{"neg-space", ".data\n.space -8", "negative size"},
+		{"bad-entry", ".entry 42", ".entry wants a label"},
+		{"missing-entry", ".entry nope\nnop", "undefined"},
+		{"bad-float", ".data\n.double 1.2.3", "bad float"},
+		{"unclosed-paren", "li r1, (2+3", "missing ')'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.name, c.src)
+			if err == nil {
+				t.Fatalf("assembled successfully, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("x", "nop\nnop\nfrob r1\n")
+	asmErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if asmErr.Line != 3 {
+		t.Errorf("line = %d, want 3", asmErr.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble on bad source did not panic")
+		}
+	}()
+	MustAssemble("bad", "frob")
+}
+
+func TestMemOperandForms(t *testing.T) {
+	src := `
+        li   r2, 0x2000
+        li   r5, 77
+        st   r5, 8(r2)
+        ld   r6, 8(r2)
+        st   r5, (r2)
+        ld   r7, (r2)
+        st   r5, 0x3000
+        ld   r8, 0x3000
+        halt
+`
+	p := MustAssemble("mem", src)
+	sys, _ := prog.NewSystem(p, prog.ModeME, 1, nil)
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Contexts[0].State
+	for _, r := range []int{6, 7, 8} {
+		if st.Reg[r] != 77 {
+			t.Errorf("r%d = %d, want 77", r, st.Reg[r])
+		}
+	}
+}
+
+func TestTidInstruction(t *testing.T) {
+	p := MustAssemble("tid", "tid r5\nhalt\n")
+	sys, _ := prog.NewSystem(p, prog.ModeMT, 3, nil)
+	if err := sys.RunFunctional(10); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range sys.Contexts {
+		if c.State.Reg[5] != uint64(i) {
+			t.Errorf("ctx %d: tid = %d", i, c.State.Reg[5])
+		}
+	}
+}
+
+// TestAllInstructionsAssemble round-trips every hardware mnemonic through
+// the assembler at least once.
+func TestAllInstructionsAssemble(t *testing.T) {
+	src := `
+        add r1, r2, r3
+        sub r1, r2, r3
+        mul r1, r2, r3
+        div r1, r2, r3
+        rem r1, r2, r3
+        and r1, r2, r3
+        or  r1, r2, r3
+        xor r1, r2, r3
+        sll r1, r2, r3
+        srl r1, r2, r3
+        sra r1, r2, r3
+        slt r1, r2, r3
+        sltu r1, r2, r3
+        addi r1, r2, 5
+        andi r1, r2, 5
+        ori r1, r2, 5
+        xori r1, r2, 5
+        slli r1, r2, 5
+        srli r1, r2, 5
+        srai r1, r2, 5
+        slti r1, r2, 5
+        lui r1, 5
+        fadd r1, r2, r3
+        fsub r1, r2, r3
+        fmul r1, r2, r3
+        fdiv r1, r2, r3
+        fsqrt r1, r2
+        fneg r1, r2
+        fabs r1, r2
+        fmin r1, r2, r3
+        fmax r1, r2, r3
+        fcvt r1, r2
+        fcvti r1, r2
+        flt r1, r2, r3
+        fle r1, r2, r3
+        feq r1, r2, r3
+        ld  r1, 8(r2)
+        st  r1, 8(r2)
+tgt:    beq r1, r2, tgt
+        bne r1, r2, tgt
+        blt r1, r2, tgt
+        bge r1, r2, tgt
+        bltu r1, r2, tgt
+        bgeu r1, r2, tgt
+        jal r1, tgt
+        jalr r1, 0(r2)
+        nop
+        tid r1
+        halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[isa.Op]bool{}
+	for _, in := range p.Insts {
+		seen[in.Op] = true
+	}
+	if len(seen) != isa.NumOps {
+		t.Errorf("covered %d ops, want %d", len(seen), isa.NumOps)
+	}
+}
+
+func TestAssembleAtRelocation(t *testing.T) {
+	src := `
+start:  li    r5, vec
+        ld    r6, 0(r5)
+loop:   addi  r6, r6, -1
+        bnez  r6, loop
+        halt
+        .data
+vec:    .word 3
+`
+	p, err := AssembleAt("reloc", src, 0x80000, 0x300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x80000 || p.Entry != 0x80000 {
+		t.Errorf("base/entry = %#x/%#x", p.Base, p.Entry)
+	}
+	if v, _ := p.Symbol("vec"); v != 0x300000 {
+		t.Errorf("vec = %#x", v)
+	}
+	if l, _ := p.Symbol("loop"); l != 0x80000+2*4 {
+		t.Errorf("loop = %#x", l)
+	}
+	// Branch targets are absolute in the relocated range.
+	sys, err := prog.NewMultiSystem([]*prog.Program{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFunctional(100); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Contexts[0].State.Reg[6] != 0 {
+		t.Errorf("r6 = %d", sys.Contexts[0].State.Reg[6])
+	}
+}
+
+// TestInstStringAssembles is the printer/parser round trip: every valid
+// instruction's assembler rendering must re-assemble to the same
+// instruction. (Branch/jump targets print as absolute addresses, which the
+// assembler accepts as plain numbers.)
+func TestInstStringAssembles(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n < 3000; n++ {
+		in := isa.Inst{
+			Op:  isa.Op(1 + r.Intn(isa.NumOps)),
+			Rd:  uint8(r.Intn(isa.NumRegs)),
+			Rs1: uint8(r.Intn(isa.NumRegs)),
+			Rs2: uint8(r.Intn(isa.NumRegs)),
+		}
+		// Immediates: keep them in ranges the printer renders exactly.
+		switch in.Op.Class() {
+		case isa.ClassBranch, isa.ClassJump:
+			in.Imm = int64(r.Intn(1 << 20))
+		default:
+			in.Imm = int64(r.Intn(1<<16)) - 1<<15
+		}
+		// Normalize fields the instruction doesn't use, as the printer
+		// omits them and the parser zeroes them.
+		srcs, ns := in.Sources()
+		switch ns {
+		case 0:
+			in.Rs1, in.Rs2 = 0, 0
+		case 1:
+			if srcs[0] == in.Rs1 {
+				in.Rs2 = 0
+			}
+		}
+		if !in.Op.HasDest() {
+			in.Rd = 0
+		}
+		switch in.Op {
+		case isa.OpNop, isa.OpHalt:
+			in.Imm = 0
+		case isa.OpTid:
+			in.Rs1, in.Rs2, in.Imm = 0, 0, 0
+		case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+			isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl, isa.OpSra,
+			isa.OpSlt, isa.OpSltu, isa.OpFadd, isa.OpFsub, isa.OpFmul,
+			isa.OpFdiv, isa.OpFmin, isa.OpFmax, isa.OpFlt, isa.OpFle, isa.OpFeq:
+			in.Imm = 0
+		case isa.OpFsqrt, isa.OpFneg, isa.OpFabs, isa.OpFcvt, isa.OpFcvti:
+			in.Imm = 0
+			in.Rs2 = 0
+		case isa.OpLui:
+			in.Rs1, in.Rs2 = 0, 0
+		case isa.OpLd:
+			in.Rs2 = 0
+		case isa.OpJal:
+			in.Rs1, in.Rs2 = 0, 0
+		case isa.OpJalr:
+			in.Rs2 = 0
+		case isa.OpSt:
+			in.Rd = 0
+		}
+		text := in.String()
+		p, err := Assemble("rt", text+"\n")
+		if err != nil {
+			t.Fatalf("%q did not assemble: %v", text, err)
+		}
+		if len(p.Insts) != 1 {
+			t.Fatalf("%q assembled to %d instructions", text, len(p.Insts))
+		}
+		if p.Insts[0] != in {
+			t.Fatalf("round trip: %q -> %+v, want %+v", text, p.Insts[0], in)
+		}
+	}
+}

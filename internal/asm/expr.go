@@ -1,0 +1,185 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+)
+
+// eval evaluates a constant expression: integers (decimal, 0x hex, 0b
+// binary), symbols (labels and .equ constants), unary minus, binary
+// + - * / % << >>, and parentheses. Precedence (high to low):
+// unary -, then * / % << >>, then + -.
+func (a *assembler) eval(line int, s string) (int64, error) {
+	p := &exprParser{a: a, line: line, src: s}
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, errf(line, "trailing junk in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	a    *assembler
+	line int
+	src  string
+	pos  int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseSum() (int64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			w, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.pos++
+			w, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseTerm() (int64, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.peek() == '*':
+			p.pos++
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case p.peek() == '/':
+			p.pos++
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, errf(p.line, "division by zero in expression")
+			}
+			v /= w
+		case p.peek() == '%':
+			p.pos++
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, errf(p.line, "modulo by zero in expression")
+			}
+			v %= w
+		case strings.HasPrefix(p.src[p.pos:], "<<"):
+			p.pos += 2
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v <<= uint64(w) & 63
+		case strings.HasPrefix(p.src[p.pos:], ">>"):
+			p.pos += 2
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v >>= uint64(w) & 63
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseFactor() (int64, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '-':
+		p.pos++
+		v, err := p.parseFactor()
+		return -v, err
+	case c == '(':
+		p.pos++
+		v, err := p.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, errf(p.line, "missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && isNumChar(p.src[p.pos]) {
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		v, err := strconv.ParseInt(lit, 0, 64)
+		if err != nil {
+			// Try unsigned for full-range hex constants.
+			u, uerr := strconv.ParseUint(lit, 0, 64)
+			if uerr != nil {
+				return 0, errf(p.line, "bad number %q", lit)
+			}
+			return int64(u), nil
+		}
+		return v, nil
+	case c == '_' || c == '.' || (c|0x20) >= 'a' && (c|0x20) <= 'z':
+		start := p.pos
+		for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.a.syms[name]
+		if !ok {
+			return 0, errf(p.line, "undefined symbol %q", name)
+		}
+		return int64(v), nil
+	default:
+		return 0, errf(p.line, "unexpected %q in expression %q", string(c), p.src)
+	}
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || (c|0x20) >= 'a' && (c|0x20) <= 'f' || c == 'x' || c == 'X' || c == 'b' || c == 'B'
+}
+
+func isIdentChar(c byte) bool {
+	return c >= '0' && c <= '9' || (c|0x20) >= 'a' && (c|0x20) <= 'z' || c == '_' || c == '.'
+}

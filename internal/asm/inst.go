@@ -1,0 +1,390 @@
+package asm
+
+import (
+	"strings"
+
+	"mmt/internal/isa"
+)
+
+// Pseudo-instruction mnemonics accepted in addition to the hardware ops.
+//
+//	li   rd, expr       load (possibly 64-bit) immediate
+//	la   rd, label      load address (same as li)
+//	mv   rd, rs         addi rd, rs, 0
+//	not  rd, rs         xori rd, rs, -1
+//	neg  rd, rs         sub  rd, r0, rs
+//	j    target         jal  r0, target
+//	call target         jal  ra, target
+//	ret                 jalr r0, 0(ra)
+//	beqz rs, target     beq  rs, r0, target
+//	bnez rs, target     bne  rs, r0, target
+//	bgt  a, b, target   blt  b, a, target
+//	ble  a, b, target   bge  b, a, target
+
+// liFits reports whether v encodes in the signed 36-bit immediate field.
+func liFits(v int64) bool {
+	const bound = int64(1) << 35
+	return v >= -bound && v < bound
+}
+
+// instLen returns how many hardware instructions the (possibly pseudo)
+// mnemonic expands to. Pass 1 uses it for layout, so it may only depend on
+// operand *values* that are already resolvable; symbolic li operands are
+// assumed to be addresses, which always fit in one instruction.
+func (a *assembler) instLen(line int, mnem string, ops []string) (int, error) {
+	switch mnem {
+	case "li", "la":
+		if len(ops) != 2 {
+			return 0, errf(line, "%s wants rd, value", mnem)
+		}
+		if v, err := a.eval(line, ops[1]); err == nil && !liFits(v) {
+			return 2, nil // lui + ori
+		}
+		return 1, nil
+	default:
+		if _, isPseudo := pseudoArity[mnem]; isPseudo {
+			return 1, nil
+		}
+		if _, ok := isa.OpByName(mnem); !ok {
+			return 0, errf(line, "unknown instruction %q", mnem)
+		}
+		return 1, nil
+	}
+}
+
+var pseudoArity = map[string]int{
+	"li": 2, "la": 2, "mv": 2, "not": 2, "neg": 2,
+	"j": 1, "call": 1, "ret": 0,
+	"beqz": 2, "bnez": 2, "bgt": 3, "ble": 3,
+}
+
+func (a *assembler) reg(line int, s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n := 0
+		for _, c := range s[1:] {
+			if c < '0' || c > '9' {
+				return 0, errf(line, "bad register %q", s)
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, errf(line, "bad register %q", s)
+}
+
+// memOperand parses "disp(reg)" or "(reg)" or "disp" (base r0).
+func (a *assembler) memOperand(line int, s string) (base uint8, disp int64, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		d, err := a.eval(line, s)
+		return isa.RegZero, d, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	base, err = a.reg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		return base, 0, nil
+	}
+	disp, err = a.eval(line, dispStr)
+	return base, disp, err
+}
+
+func (a *assembler) encodeInst(it item) ([]isa.Inst, error) {
+	line, mnem, ops := it.line, it.mnem, it.ops
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return errf(line, "%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if liFits(v) {
+			return []isa.Inst{{Op: isa.OpAddi, Rd: rd, Rs1: isa.RegZero, Imm: v}}, nil
+		}
+		return []isa.Inst{
+			{Op: isa.OpLui, Rd: rd, Imm: v >> 32},
+			{Op: isa.OpOri, Rd: rd, Rs1: rd, Imm: v & 0xffffffff},
+		}, nil
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpAddi, Rd: rd, Rs1: rs}}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpXori, Rd: rd, Rs1: rs, Imm: -1}}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpSub, Rd: rd, Rs1: isa.RegZero, Rs2: rs}}, nil
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.eval(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJal, Rd: isa.RegZero, Imm: tgt}}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.eval(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJal, Rd: isa.RegRA, Imm: tgt}}, nil
+	case "ret":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.eval(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBeq
+		if mnem == "bnez" {
+			op = isa.OpBne
+		}
+		return []isa.Inst{{Op: op, Rs1: rs, Rs2: isa.RegZero, Imm: tgt}}, nil
+	case "bgt", "ble":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rb, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.eval(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBlt
+		if mnem == "ble" {
+			op = isa.OpBge
+		}
+		return []isa.Inst{{Op: op, Rs1: rb, Rs2: ra, Imm: tgt}}, nil
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		return nil, errf(line, "unknown instruction %q", mnem)
+	}
+
+	switch op.Class() {
+	case isa.ClassLoad: // ld rd, disp(base)
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, disp, err := a.memOperand(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs1: base, Imm: disp}}, nil
+	case isa.ClassStore: // st rs2, disp(base)
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, disp, err := a.memOperand(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rs1: base, Rs2: rs2, Imm: disp}}, nil
+	case isa.ClassBranch: // beq rs1, rs2, target
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.eval(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rs1: rs1, Rs2: rs2, Imm: tgt}}, nil
+	case isa.ClassJump:
+		if op == isa.OpJal { // jal rd, target
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err := a.reg(line, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			tgt, err := a.eval(line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Inst{{Op: op, Rd: rd, Imm: tgt}}, nil
+		}
+		// jalr rd, disp(base)
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, disp, err := a.memOperand(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs1: base, Imm: disp}}, nil
+	}
+
+	switch op {
+	case isa.OpNop, isa.OpHalt:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op}}, nil
+	case isa.OpTid:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd}}, nil
+	case isa.OpLui:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Imm: v}}, nil
+	}
+
+	// Generic register/immediate forms: rd, rs1[, rs2|imm] or rd, rs1.
+	inst := isa.Inst{Op: op}
+	hasRs2 := false
+	hasImm := false
+	switch op {
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti:
+		hasImm = true
+	case isa.OpFsqrt, isa.OpFneg, isa.OpFabs, isa.OpFcvt, isa.OpFcvti:
+		// rd, rs1 only
+	default:
+		hasRs2 = true
+	}
+	wantOps := 2
+	if hasRs2 || hasImm {
+		wantOps = 3
+	}
+	if err := need(wantOps); err != nil {
+		return nil, err
+	}
+	rd, err := a.reg(line, ops[0])
+	if err != nil {
+		return nil, err
+	}
+	rs1, err := a.reg(line, ops[1])
+	if err != nil {
+		return nil, err
+	}
+	inst.Rd, inst.Rs1 = rd, rs1
+	if hasRs2 {
+		rs2, err := a.reg(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		inst.Rs2 = rs2
+	}
+	if hasImm {
+		v, err := a.eval(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		inst.Imm = v
+	}
+	return []isa.Inst{inst}, nil
+}

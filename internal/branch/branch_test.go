@@ -1,0 +1,194 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirPredictorLearnsBias(t *testing.T) {
+	p := NewDirPredictor(1024, 10, 1)
+	pc := uint64(0x1000)
+	// Train always-taken.
+	for i := 0; i < 32; i++ {
+		p.Update(0, pc, true)
+	}
+	if !p.Predict(0, pc) {
+		t.Error("did not learn always-taken")
+	}
+	// Flip to always-not-taken; must eventually relearn.
+	for i := 0; i < 32; i++ {
+		p.Update(0, pc, false)
+	}
+	if p.Predict(0, pc) {
+		t.Error("did not relearn not-taken")
+	}
+}
+
+func TestDirPredictorLearnsAlternation(t *testing.T) {
+	// A strict alternation is perfectly predictable with global history.
+	p := NewDirPredictor(1024, 10, 1)
+	pc := uint64(0x2040)
+	taken := false
+	var wrong int
+	for i := 0; i < 400; i++ {
+		pred := p.Predict(0, pc)
+		if i >= 100 && pred != taken {
+			wrong++
+		}
+		p.Update(0, pc, taken)
+		taken = !taken
+	}
+	if wrong != 0 {
+		t.Errorf("alternating pattern mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestDirPredictorPerThreadHistory(t *testing.T) {
+	p := NewDirPredictor(1024, 10, 2)
+	pc := uint64(0x3000)
+	p.Update(0, pc, true)
+	p.Update(0, pc, true)
+	if p.HistoryCopy(0) != 0b11 {
+		t.Errorf("t0 history = %b", p.HistoryCopy(0))
+	}
+	if p.HistoryCopy(1) != 0 {
+		t.Errorf("t1 history = %b, want untouched", p.HistoryCopy(1))
+	}
+}
+
+func TestDirPredictorCountsMispredicts(t *testing.T) {
+	p := NewDirPredictor(16, 4, 1)
+	pc := uint64(0x40)
+	// Initial state is weakly not-taken: first taken outcome mispredicts.
+	if correct := p.Update(0, pc, true); correct {
+		t.Error("first taken predicted correctly from weakly-not-taken")
+	}
+	if p.Mispredict != 1 || p.Lookups != 1 {
+		t.Errorf("counters = %d/%d", p.Mispredict, p.Lookups)
+	}
+}
+
+func TestDirPredictorPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two PHT")
+		}
+	}()
+	NewDirPredictor(1000, 10, 1)
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(64)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Insert(0x1000, 0x2000)
+	tgt, ok := b.Lookup(0x1000)
+	if !ok || tgt != 0x2000 {
+		t.Errorf("lookup = %#x/%v", tgt, ok)
+	}
+	// A conflicting PC (same index, different tag) must miss, then evict.
+	conflict := uint64(0x1000 + 64*4)
+	if _, ok := b.Lookup(conflict); ok {
+		t.Error("conflicting tag hit")
+	}
+	b.Insert(conflict, 0x3000)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Error("evicted entry still hits")
+	}
+}
+
+func TestBTBCounters(t *testing.T) {
+	b := NewBTB(8)
+	b.Lookup(0x10)
+	b.Insert(0x10, 0x20)
+	b.Lookup(0x10)
+	if b.Hits != 1 || b.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", b.Hits, b.Misses)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty RAS")
+	}
+	r.Push(0x100)
+	r.Push(0x200)
+	if r.Depth() != 2 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+	v, ok := r.Pop()
+	if !ok || v != 0x200 {
+		t.Errorf("pop = %#x/%v", v, ok)
+	}
+	v, _ = r.Pop()
+	if v != 0x100 {
+		t.Errorf("pop = %#x", v)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites oldest
+	if r.Depth() != 2 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d", v)
+	}
+}
+
+func TestRASLIFOProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ras := NewRAS(16)
+		var model []uint64
+		for i := 0; i < 100; i++ {
+			if r.Intn(2) == 0 {
+				v := r.Uint64()
+				ras.Push(v)
+				model = append(model, v)
+				if len(model) > 16 {
+					model = model[1:]
+				}
+			} else {
+				got, ok := ras.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewUnitDefaults(t *testing.T) {
+	u := NewUnit(DefaultConfig(4))
+	if len(u.RAS) != 4 {
+		t.Errorf("RAS count = %d", len(u.RAS))
+	}
+	if len(u.Dir.pht) != 1024 {
+		t.Errorf("PHT entries = %d", len(u.Dir.pht))
+	}
+	if len(u.BTB.tags) != 2048 {
+		t.Errorf("BTB entries = %d", len(u.BTB.tags))
+	}
+}

@@ -1,0 +1,248 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mmt/internal/core"
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// Artifacts lists the artifact names RunBench accepts, in output order.
+var Artifacts = []string{
+	"table3", "fig1", "fig2", "fig5a", "fig5b", "fig5c", "fig5d",
+	"fig6", "fig7a", "fig7b", "fig7c", "fig7d",
+	"mp", "cosched", "diversity", "scaling", "ablations", "sec63",
+}
+
+// RunBench is the mmtbench command: regenerate the evaluation artifacts.
+func RunBench(args []string, stdout io.Writer) error {
+	sim.EnableMemo()
+	fs := flag.NewFlagSet("mmtbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		only    = fs.String("only", "", "comma-separated artifact list: "+strings.Join(Artifacts, ","))
+		outFile = fs.String("out", "", "also write the report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w io.Writer = stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, s := range strings.Split(*only, ",") {
+			if strings.TrimSpace(s) == name {
+				return true
+			}
+		}
+		return false
+	}
+	// Validate requested names.
+	if *only != "" {
+		valid := map[string]bool{}
+		for _, a := range Artifacts {
+			valid[a] = true
+		}
+		for _, s := range strings.Split(*only, ",") {
+			if s = strings.TrimSpace(s); !valid[s] {
+				return fmt.Errorf("unknown artifact %q (valid: %s)", s, strings.Join(Artifacts, ","))
+			}
+		}
+	}
+
+	apps := workloads.All()
+
+	if want("table3") {
+		h := core.EstimateHWCost(core.DefaultConfig(4))
+		fmt.Fprintf(w, "Table 3: MMT hardware cost estimate\n------------------------------------\n%s\n\n", h)
+	}
+	if want("fig1") {
+		rows, err := sim.Figure1(apps, 1_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig1(rows))
+	}
+	if want("fig2") {
+		rows, err := sim.Figure2(apps, 1_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig2(rows))
+	}
+	if want("fig5a") {
+		rows, gm, err := sim.Figure5Speedups(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig5(rows, gm, 2))
+	}
+	if want("fig5b") {
+		rows, err := sim.Figure5b(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig5b(rows))
+	}
+	if want("fig5c") {
+		rows, gm, err := sim.Figure5Speedups(apps, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig5(rows, gm, 4))
+	}
+	if want("fig5d") {
+		rows, err := sim.Figure5d(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig5d(rows))
+	}
+	if want("fig6") {
+		rows, err := sim.Figure6(apps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig6(rows))
+	}
+	if want("fig7a") {
+		rows, err := sim.Figure7a(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig7a(rows))
+	}
+	if want("fig7b") {
+		sp, err := sim.Figure7b(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatSweep("Figure 7(b): geomean speedup vs load/store ports", sim.LSPortCounts, sp))
+	}
+	if want("fig7c") {
+		rows, err := sim.Figure7c(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatFig7c(rows))
+	}
+	if want("fig7d") {
+		sp, err := sim.Figure7d(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatSweep("Figure 7(d): geomean speedup vs fetch width", sim.FetchWidths, sp))
+	}
+	if want("mp") {
+		rows, err := sim.ExtensionMP()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatMP(rows))
+	}
+	if want("cosched") {
+		rows, err := sim.ExtensionCoschedule()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatCoschedule(rows))
+	}
+	if want("diversity") {
+		rows, err := sim.ExtensionDiversity()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatDiversity(rows))
+	}
+	if want("scaling") {
+		rows, err := sim.ExtensionScaling(apps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, sim.FormatScaling(rows))
+	}
+	if want("ablations") {
+		type study struct {
+			title string
+			names []string
+			run   func() ([]sim.AblationRow, []float64, error)
+		}
+		for _, s := range []study{
+			{"Ablation: remerge mechanism (MMT-FXR, 2T)", sim.SyncPolicyNames,
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationSyncPolicy(apps, 2) }},
+			{"Ablation: load-value-identical policy (MMT-FXR, 2T)", sim.LVIPModeNames,
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationLVIP(apps, 2) }},
+			{"Ablation: CATCHUP ahead-thread duty cycle (MMT-FXR, 2T)", dutyNames(),
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationAheadDuty(apps, 2) }},
+			{"Ablation: register-merge read ports (MMT-FXR, 2T)", portNames(),
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationRegMergePorts(apps, 2) }},
+			{"Ablation (§5 claim): machine scale — gains grow as the core shrinks", sim.MachineScaleNames,
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationMachineScale(apps, 2) }},
+			{"Ablation (§5 claim): trace cache on/off — near-identical results", sim.TraceCacheNames,
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationTraceCache(apps, 2) }},
+		} {
+			rows, gms, err := s.run()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, sim.FormatAblation(s.title, s.names, rows, gms))
+		}
+	}
+	if want("sec63") {
+		m, err := sim.RemergeWithin512(apps, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Section 6.3: remerges found within 512 taken branches")
+		fmt.Fprintln(w, "-----------------------------------------------------")
+		var total float64
+		n := 0
+		for _, a := range apps {
+			if v, ok := m[a.Name]; ok {
+				fmt.Fprintf(w, "%-14s %6.1f%%\n", a.Name, 100*v)
+				total += v
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "%-14s %6.1f%%\n\n", "average", 100*total/float64(n))
+		}
+	}
+	return nil
+}
+
+func dutyNames() []string {
+	var out []string
+	for _, d := range sim.AheadDuties {
+		if d == 0 {
+			out = append(out, "gated")
+		} else {
+			out = append(out, fmt.Sprintf("1/%d", d))
+		}
+	}
+	return out
+}
+
+func portNames() []string {
+	var out []string
+	for _, p := range sim.RegMergePortCounts {
+		out = append(out, fmt.Sprintf("%d ports", p))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mmt/internal/core"
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// RunPipe is the mmtpipe command: a cycle-by-cycle pipeline trace.
+func RunPipe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmtpipe", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		appName = fs.String("app", "equake", "application name")
+		preset  = fs.String("preset", "MMT-FXR", "configuration preset")
+		threads = fs.Int("threads", 2, "hardware threads")
+		from    = fs.Uint64("from", 0, "skip to this cycle before tracing")
+		cycles  = fs.Uint64("cycles", 80, "cycles to trace")
+		dump    = fs.Uint64("dump", 0, "also print full machine state every N traced cycles (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, ok := workloads.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+	cfg, err := sim.Configure(sim.Preset(*preset), *threads)
+	if err != nil {
+		return err
+	}
+	sys, err := app.Build(*threads, sim.Preset(*preset).IdenticalInputs())
+	if err != nil {
+		return err
+	}
+	c, err := core.New(cfg, sys)
+	if err != nil {
+		return err
+	}
+
+	st := c.Stats()
+	for st.Cycles < *from {
+		c.Cycle()
+	}
+
+	fmt.Fprintf(out, "%s / %s / %dT — tracing cycles %d..%d\n", app.Name, *preset, *threads, *from, *from+*cycles)
+	fmt.Fprintf(out, "%8s %6s %6s %6s %6s %7s %6s %5s  %s\n",
+		"cycle", "fetch", "renam", "issue", "commit", "mode", "div", "merg", "events")
+	prev := *st
+	for i := uint64(0); i < *cycles; i++ {
+		c.Cycle()
+		cur := *st
+		var events string
+		if cur.Divergences > prev.Divergences {
+			events += fmt.Sprintf(" DIVERGE@+%d", cur.Divergences-prev.Divergences)
+		}
+		if cur.Remerges > prev.Remerges {
+			events += " REMERGE"
+		}
+		if cur.CatchupsStarted > prev.CatchupsStarted {
+			events += " CATCHUP"
+		}
+		if cur.LVIPRollbacks > prev.LVIPRollbacks {
+			events += " ROLLBACK"
+		}
+		if cur.Mispredicts > prev.Mispredicts {
+			events += " MISPRED"
+		}
+		fmt.Fprintf(out, "%8d %6d %6d %6d %6d %7s %6d %5d %s\n",
+			cur.Cycles,
+			cur.FetchUops-prev.FetchUops,
+			cur.RenamedUops-prev.RenamedUops,
+			cur.IssuedUops-prev.IssuedUops,
+			cur.CommittedUops-prev.CommittedUops,
+			modeGlyph(modeOfCycle(&prev, &cur)),
+			cur.Divergences, cur.Remerges,
+			events)
+		if *dump > 0 && (i+1)%*dump == 0 {
+			fmt.Fprintln(out, c.DumpState())
+		}
+		prev = cur
+	}
+	fmt.Fprintf(out, "\ntotals: committed %d per-thread instructions in %d cycles (IPC %.2f)\n",
+		st.TotalCommitted(), st.Cycles, st.IPC())
+	return nil
+}
+
+// modeOfCycle returns the per-thread instructions fetched this cycle in
+// each mode.
+func modeOfCycle(prev, cur *core.Stats) (m, d, cu uint64) {
+	return cur.FetchedByMode[core.FetchMerge] - prev.FetchedByMode[core.FetchMerge],
+		cur.FetchedByMode[core.FetchDetect] - prev.FetchedByMode[core.FetchDetect],
+		cur.FetchedByMode[core.FetchCatchup] - prev.FetchedByMode[core.FetchCatchup]
+}
+
+func modeGlyph(m, d, cu uint64) string {
+	switch {
+	case m == 0 && d == 0 && cu == 0:
+		return "-"
+	case m > 0 && d == 0 && cu == 0:
+		return "MERGE"
+	case cu > 0:
+		return "CATCHUP"
+	case d > 0 && m == 0:
+		return "DETECT"
+	default:
+		return "mixed"
+	}
+}

@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// RunProfile is the mmtprofile command: the §3 motivation study (Fig. 1
+// and Fig. 2) computed from aligned functional traces.
+func RunProfile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmtprofile", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		appName  = fs.String("app", "", "profile a single application (default: all)")
+		maxInsts = fs.Int("maxinsts", 1_000_000, "per-context dynamic instruction cap")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	apps := workloads.All()
+	if *appName != "" {
+		a, ok := workloads.ByName(*appName)
+		if !ok {
+			return fmt.Errorf("unknown application %q", *appName)
+		}
+		apps = []workloads.App{a}
+	}
+
+	rows1, err := sim.Figure1(apps, *maxInsts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, sim.FormatFig1(rows1))
+
+	rows2, err := sim.Figure2(apps, *maxInsts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, sim.FormatFig2(rows2))
+	return nil
+}

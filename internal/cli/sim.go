@@ -1,0 +1,137 @@
+// Package cli implements the command-line tools (mmtsim, mmtprofile,
+// mmtbench, mmtpipe) as testable functions; the cmd/ mains are thin
+// wrappers around these.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mmt/internal/asm"
+	"mmt/internal/core"
+	"mmt/internal/prog"
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// RunSim is the mmtsim command: run one workload under one configuration
+// and print detailed statistics.
+func RunSim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmtsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		appName = fs.String("app", "ammp", "application name (see -list)")
+		preset  = fs.String("preset", "MMT-FXR", "configuration: Base, MMT-F, MMT-FX, MMT-FXR, Limit")
+		threads = fs.Int("threads", 2, "hardware threads (1-4)")
+		fhb     = fs.Int("fhb", 0, "override Fetch History Buffer entries (0 = Table 4 default)")
+		fw      = fs.Int("fetchwidth", 0, "override fetch width (0 = Table 4 default)")
+		lsports = fs.Int("lsports", 0, "override load/store ports (0 = Table 4 default)")
+		list    = fs.Bool("list", false, "list applications and exit")
+		disasm  = fs.Bool("disasm", false, "print the application's disassembly and exit")
+		equ     = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintf(out, "%-14s %-9s %-4s %s\n", "name", "suite", "mode", "about")
+		for _, a := range append(workloads.All(), workloads.MP()...) {
+			fmt.Fprintf(out, "%-14s %-9s %-4s %s\n", a.Name, a.Suite, a.Mode, a.About)
+		}
+		return nil
+	}
+	if *disasm {
+		a, ok := workloads.ByName(*appName)
+		if !ok {
+			return fmt.Errorf("unknown application %q", *appName)
+		}
+		p, err := asm.Assemble(a.Name, a.Source)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, prog.Disassemble(p))
+		return nil
+	}
+
+	mutate := func(c *core.Config) {
+		if *fhb > 0 {
+			c.FHBSize = *fhb
+		}
+		if *fw > 0 {
+			c.FetchWidth = *fw
+		}
+		if *lsports > 0 {
+			c.LSPorts = *lsports
+			c.Mem.MSHRs = 4 * *lsports
+		}
+	}
+	app, ok := workloads.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+	if *equ != "" {
+		overrides, err := parseEqu(*equ)
+		if err != nil {
+			return err
+		}
+		app = app.Override(overrides)
+	}
+	res, err := sim.Run(app, sim.Preset(*preset), *threads, mutate)
+	if err != nil {
+		return err
+	}
+	printResult(out, res)
+	return nil
+}
+
+// parseEqu parses "NAME=VAL,NAME=VAL" override lists.
+func parseEqu(s string) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -equ entry %q (want NAME=VALUE)", pair)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(val), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -equ value in %q: %v", pair, err)
+		}
+		out[strings.TrimSpace(name)] = n
+	}
+	return out, nil
+}
+
+func printResult(out io.Writer, r *sim.Result) {
+	s := r.Stats
+	fmt.Fprintf(out, "%s / %s / %d threads\n\n", r.App, r.Preset, r.Threads)
+	fmt.Fprintf(out, "cycles               %12d\n", s.Cycles)
+	fmt.Fprintf(out, "committed insts      %12d  (IPC %.3f)\n", s.TotalCommitted(), s.IPC())
+	for t := 0; t < r.Threads; t++ {
+		fmt.Fprintf(out, "  thread %d           %12d\n", t, s.Committed[t])
+	}
+	fmt.Fprintf(out, "fetch operations     %12d\n", s.FetchUops)
+	fmt.Fprintf(out, "executed uops        %12d\n", s.IssuedUops)
+	fmt.Fprintf(out, "branches             %12d  (%d mispredicted)\n", s.BranchUops, s.Mispredicts)
+
+	m, d, cu := s.FetchModeFractions()
+	fmt.Fprintf(out, "\nfetch modes          MERGE %.1f%%  DETECT %.1f%%  CATCHUP %.1f%%\n", 100*m, 100*d, 100*cu)
+	x, xr, f, n := s.IdenticalFractions()
+	fmt.Fprintf(out, "commit classes       exec-ident %.1f%%  +regmerge %.1f%%  fetch-ident %.1f%%  not-ident %.1f%%\n",
+		100*x, 100*xr, 100*f, 100*n)
+	fmt.Fprintf(out, "synchronization      %d divergences, %d remerges, %d catchups (%d aborted)\n",
+		s.Divergences, s.Remerges, s.CatchupsStarted, s.CatchupsAborted)
+	fmt.Fprintf(out, "                     %.1f%% of remerges within 512 taken branches\n", 100*s.RemergeWithin(512))
+	fmt.Fprintf(out, "LVIP                 %d rollbacks\n", s.LVIPRollbacks)
+	fmt.Fprintf(out, "register merging     %d compares, %d merges\n", s.RegMergeCompares, s.RegMergeHits)
+
+	fmt.Fprintf(out, "\nmemory               L1I %d  L1D %d  L2 %d  DRAM %d accesses\n",
+		r.Mem.L1IAccesses, r.Mem.L1DAccesses, r.Mem.L2Accesses, r.Mem.DRAMAccesses)
+	e := r.Energy
+	fmt.Fprintf(out, "energy (pJ)          cache %.0f  MMT-overhead %.0f (%.2f%%)  other %.0f\n",
+		e.Cache, e.Overhead, 100*e.Overhead/e.Total(), e.Other)
+	fmt.Fprintf(out, "energy per job       %.1f pJ/instruction\n", r.EnergyPerJob)
+}

@@ -1,0 +1,195 @@
+package core
+
+// commitStage retires completed uops in per-thread program order, up to
+// CommitWidth per cycle. A merged uop consumes a single commit slot and
+// must be at the head of every member thread's ROB queue; it retires for
+// all of them at once — the commit-bandwidth side of the MMT savings.
+func (c *Core) commitStage(now uint64) {
+	slots := c.cfg.CommitWidth
+	c.regMergeBudget = c.cfg.RegMergePorts
+	for progress := true; progress && slots > 0; {
+		progress = false
+		for t := 0; t < c.cfg.Threads && slots > 0; t++ {
+			q := c.robQ[t]
+			if len(q) == 0 {
+				continue
+			}
+			u := q[0]
+			if u.state == uopSquashed {
+				c.robQ[t] = q[1:]
+				progress = true
+				continue
+			}
+			if u.state != uopDone || !c.atAllHeads(u) {
+				continue
+			}
+			c.commit(u, now)
+			slots--
+			progress = true
+		}
+	}
+	c.compactWindow()
+}
+
+func (c *Core) atAllHeads(u *uop) bool {
+	for _, t := range u.itid.Threads() {
+		if len(c.robQ[t]) == 0 || c.robQ[t][0] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// commit retires one uop for all its threads.
+func (c *Core) commit(u *uop, now uint64) {
+	for _, t := range u.itid.Threads() {
+		c.robQ[t] = c.robQ[t][1:]
+	}
+	u.state = uopCommitted
+	c.robOcc--
+	if u.isMem() {
+		c.lsqOcc -= u.lsqSlots
+	}
+	c.stats.CommittedUops++
+
+	dest, hasDest := u.inst.Dest()
+	// Invariant: an execute-identical instruction produced one result for
+	// all its threads. Mapping identity plus LVIP verification guarantee
+	// it; a violation is a model bug, not a workload property.
+	if hasDest && u.execIdentical() {
+		lead := u.effs[u.leader()].DestVal
+		for _, t := range u.itid.Threads() {
+			if u.effs[t].DestVal != lead {
+				panic("core: execute-identical uop committed divergent values")
+			}
+		}
+	}
+	for _, t := range u.itid.Threads() {
+		c.stats.Committed[t]++
+		if hasDest {
+			c.committedReg[t][dest] = u.effs[t].DestVal
+			c.activeWriters[t][dest]--
+			if c.lastWriter[t][dest] == u {
+				c.lastWriter[t][dest] = nil
+			}
+		}
+		c.streams[t].release(u.dynIdx[t] + 1)
+	}
+	c.retireTrace(u)
+
+	// Stores write the cache at commit (paper Table 2: ME stores are
+	// performed once per process).
+	if u.isStore {
+		if u.memPerThread {
+			for _, t := range u.itid.Threads() {
+				c.mem.AccessData(c.dataSpace(t, u.effs[t].Addr), u.effs[t].Addr, true, now)
+				c.stats.LSQAccesses++
+			}
+		} else {
+			t := u.leader()
+			c.mem.AccessData(c.dataSpace(t, u.effs[t].Addr), u.effs[t].Addr, true, now)
+			c.stats.LSQAccesses++
+		}
+	}
+
+	// Commit classification (Fig. 5b): per-thread instructions.
+	n := uint64(u.itid.Count())
+	switch {
+	case u.execIdentical() && u.regMergeAssisted:
+		c.stats.ExecIdentRegMerge += n
+	case u.execIdentical():
+		c.stats.ExecIdentical += n
+	case u.fetchIdenticalOnly():
+		c.stats.FetchIdenticalOnly += n
+	default:
+		c.stats.NotIdentical += n
+	}
+
+	if hasDest && c.cfg.RegMerge && u.mode != FetchMerge {
+		c.tryRegisterMerge(u, dest)
+	}
+}
+
+// tryRegisterMerge implements §4.2.7: when an instruction fetched in
+// DETECT or CATCHUP mode commits a register whose mapping is still valid,
+// compare its value against the same architected register of the other
+// threads (those with no in-flight writer) and, on a match, set the RST
+// bits back to shared.
+func (c *Core) tryRegisterMerge(u *uop, dest uint8) {
+	for _, t := range u.itid.Threads() {
+		// Mapping still valid: no younger in-flight instruction has
+		// renamed the register in this thread.
+		if c.rst.version[t][dest] != u.destVer[t] || c.activeWriters[t][dest] != 0 {
+			continue
+		}
+		for o := 0; o < c.cfg.Threads; o++ {
+			if o == t || u.itid.Has(o) {
+				continue
+			}
+			if c.activeWriters[o][dest] != 0 || c.rst.Shared(t, o, dest) {
+				continue
+			}
+			if c.regMergeBudget <= 0 {
+				return // no register-file read ports left this cycle
+			}
+			c.regMergeBudget--
+			c.stats.RegMergeCompares++
+			if c.committedReg[o][dest] == c.committedReg[t][dest] {
+				c.rst.MergeInto(t, o, dest)
+				c.stats.RegMergeHits++
+			}
+		}
+	}
+}
+
+// compactWindow drops committed and squashed uops from the head of the
+// window and filters the memory queue.
+func (c *Core) compactWindow() {
+	i := 0
+	for i < len(c.window) {
+		st := c.window[i].state
+		if st != uopCommitted && st != uopSquashed {
+			break
+		}
+		i++
+	}
+	if i > 0 {
+		c.window = c.window[i:]
+	}
+	if len(c.memQ) > 0 {
+		keep := c.memQ[:0]
+		for _, m := range c.memQ {
+			if m.state != uopCommitted && m.state != uopSquashed {
+				keep = append(keep, m)
+			}
+		}
+		c.memQ = keep
+	}
+}
+
+// threadDone reports whether thread t has drained: its stream is exhausted
+// (halted or instruction-capped) and nothing remains in flight.
+func (c *Core) threadDone(t int) bool {
+	if _, ok := c.streams[t].nextPC(); ok {
+		return false
+	}
+	if len(c.robQ[t]) > 0 {
+		return false
+	}
+	for _, u := range c.fetchQ {
+		if u.state != uopSquashed && u.itid.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// allDone reports whether every thread has drained.
+func (c *Core) allDone() bool {
+	for t := 0; t < c.cfg.Threads; t++ {
+		if !c.threadDone(t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"mmt/internal/branch"
+	"mmt/internal/cache"
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+	"mmt/internal/tracecache"
+)
+
+// Core is one simulated MMT/SMT processor running a prog.System.
+type Core struct {
+	cfg  Config
+	mode prog.Mode
+	sys  *prog.System
+
+	streams []*stream
+	groups  []*group
+	fhb     []*FHB
+	rst     *RST
+	lvip    *LVIP
+	bp      *branch.Unit
+	mem     *cache.Hierarchy
+	tc      *tracecache.TraceCache
+	tb      []*tracecache.Builder
+
+	now uint64
+	seq uint64 // rename-order sequence; window is sorted by it
+	// rotate drives round-robin fetch priority among equal groups.
+	rotate uint64
+
+	fetchQ []*uop
+	window []*uop // renamed, in seq order (the ROB contents)
+	memQ   []*uop // in-flight memory uops, seq order
+	robQ   [MaxThreads][]*uop
+
+	// hintPCs are the software remerge points used by the SyncHints
+	// baseline: join targets of forward branches and loop-exit
+	// fall-throughs, derived statically from the program.
+	hintPCs map[uint64]bool
+
+	robOcc, iqOcc, lsqOcc int
+
+	lastWriter    [MaxThreads][isa.NumRegs]*uop
+	activeWriters [MaxThreads][isa.NumRegs]int
+	committedReg  [MaxThreads][isa.NumRegs]uint64
+
+	regMergeBudget int
+
+	// splitNet is the structural split-network model, allocated lazily
+	// for the ValidateSplits debug mode.
+	splitNet *SplitNetwork
+
+	stats Stats
+}
+
+// New builds a core for sys under cfg.
+func New(cfg Config, sys *prog.System) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sys.Contexts) != cfg.Threads {
+		return nil, fmt.Errorf("core: config has %d threads, system has %d contexts", cfg.Threads, len(sys.Contexts))
+	}
+	c := &Core{
+		cfg:  cfg,
+		mode: sys.Mode,
+		sys:  sys,
+		rst:  NewRST(cfg.Threads, sys.Mode),
+		lvip: NewLVIP(cfg.LVIPSize),
+		bp:   branch.NewUnit(cfg.Branch),
+		mem:  cache.NewHierarchy(cfg.Mem),
+	}
+	if cfg.TraceCacheBytes > 0 {
+		c.tc = tracecache.New(cfg.TraceCacheBytes)
+	}
+	if cfg.Sync == SyncHints {
+		c.hintPCs = make(map[uint64]bool)
+		seen := map[*prog.Program]bool{}
+		for _, ctx := range sys.Contexts {
+			if seen[ctx.Prog] {
+				continue
+			}
+			seen[ctx.Prog] = true
+			for pc := range remergeHints(ctx.Prog) {
+				c.hintPCs[pc] = true
+			}
+		}
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		c.streams = append(c.streams, newStream(sys.Contexts[t], cfg.MaxInsts))
+		c.fhb = append(c.fhb, NewFHB(cfg.FHBSize))
+		if c.tc != nil {
+			c.tb = append(c.tb, tracecache.NewBuilder(c.tc))
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			c.committedReg[t][r] = sys.Contexts[t].State.Reg[r]
+		}
+	}
+	// Initial grouping: with shared fetch, threads at the same entry PC
+	// start merged; without it, every thread fetches alone forever.
+	if cfg.SharedFetch {
+		byPC := map[uint64]ITID{}
+		var order []uint64
+		for t := 0; t < cfg.Threads; t++ {
+			pc := sys.Contexts[t].State.PC
+			if _, ok := byPC[pc]; !ok {
+				order = append(order, pc)
+			}
+			byPC[pc] |= ITIDOf(t)
+		}
+		for _, pc := range order {
+			c.groups = append(c.groups, &group{members: byPC[pc]})
+		}
+	} else {
+		for t := 0; t < cfg.Threads; t++ {
+			c.groups = append(c.groups, &group{members: ITIDOf(t)})
+		}
+	}
+	return c, nil
+}
+
+// remergeHints derives the software remerge points a Thread-Fusion-style
+// compiler would emit [36]: the join target of every forward conditional
+// branch and the fall-through (exit) of every backward one.
+func remergeHints(p *prog.Program) map[uint64]bool {
+	hints := make(map[uint64]bool)
+	for i, in := range p.Insts {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		pc := p.Base + uint64(i)*isa.InstBytes
+		target := uint64(in.Imm)
+		if target > pc {
+			hints[target] = true
+		} else {
+			hints[pc+isa.InstBytes] = true
+		}
+	}
+	return hints
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// MemEvents exposes the memory-hierarchy event counters.
+func (c *Core) MemEvents() cache.Events { return c.mem.Events }
+
+// Mem exposes the hierarchy for inspection.
+func (c *Core) Mem() *cache.Hierarchy { return c.mem }
+
+// LVIPStats exposes the load-value predictor.
+func (c *Core) LVIPStats() *LVIP { return c.lvip }
+
+// CommittedReg returns the committed architectural value of register r in
+// thread t (for verification against a functional run).
+func (c *Core) CommittedReg(t int, r uint8) uint64 { return c.committedReg[t][r] }
+
+// RSTState exposes the register sharing table (tests/diagnostics).
+func (c *Core) RSTState() *RST { return c.rst }
+
+// FHBOf exposes thread t's fetch history buffer (tests/diagnostics).
+func (c *Core) FHBOf(t int) *FHB { return c.fhb[t] }
+
+// Cycle advances the machine by one clock: commit, complete, issue,
+// rename, fetch — in that order, so results complete before dependents
+// issue and freed resources are visible within the cycle.
+func (c *Core) Cycle() {
+	now := c.now
+	c.commitStage(now)
+	c.completeStage(now)
+	c.issueStage(now)
+	c.renameStage(now)
+	c.fetchStage(now)
+	c.now++
+	c.stats.Cycles = c.now
+}
+
+// Run simulates until every thread drains (halts and empties the
+// pipeline) or a bound is hit. It returns the final statistics.
+func (c *Core) Run() (*Stats, error) {
+	for !c.allDone() {
+		if c.cfg.MaxCycles > 0 && c.now >= c.cfg.MaxCycles {
+			return &c.stats, fmt.Errorf("core: exceeded %d cycles (livelock or undersized MaxCycles)", c.cfg.MaxCycles)
+		}
+		c.Cycle()
+		for _, s := range c.streams {
+			if s.err != nil {
+				return &c.stats, s.err
+			}
+		}
+	}
+	return &c.stats, nil
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"testing"
+
+	"mmt/internal/asm"
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+// buildSys assembles src and builds an n-context system.
+func buildSys(t *testing.T, src string, mode prog.Mode, n int, init prog.InitFunc) *prog.System {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := prog.NewSystem(p, mode, n, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// runCore simulates src under cfg and cross-checks the timing model
+// against a pure functional run: per-thread committed instruction counts
+// and final committed register values must match the oracle exactly.
+func runCore(t *testing.T, cfg Config, src string, mode prog.Mode, init prog.InitFunc) (*Stats, *Core) {
+	t.Helper()
+	sys := buildSys(t, src, mode, cfg.Threads, init)
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000
+	}
+	c, err := New(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := buildSys(t, src, mode, cfg.Threads, init)
+	if err := ref.RunFunctional(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, ctx := range ref.Contexts {
+		if st.Committed[i] != ctx.DynCount {
+			t.Errorf("thread %d committed %d instructions, oracle ran %d", i, st.Committed[i], ctx.DynCount)
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if got, want := c.CommittedReg(i, uint8(r)), ctx.State.Reg[r]; got != want {
+				t.Errorf("thread %d reg %d: committed %#x, oracle %#x", i, r, got, want)
+			}
+		}
+	}
+	return st, c
+}
+
+const loopSrc = `
+        li    r5, 0
+        li    r6, 50
+loop:   add   r5, r5, r6
+        addi  r6, r6, -1
+        bnez  r6, loop
+        halt
+`
+
+func TestSingleThreadBaseline(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SharedFetch, cfg.SharedExec, cfg.RegMerge = false, false, false
+	st, _ := runCore(t, cfg, loopSrc, prog.ModeME, nil)
+	if st.Cycles == 0 || st.IPC() <= 0 {
+		t.Errorf("cycles=%d ipc=%f", st.Cycles, st.IPC())
+	}
+	// 2 + 50*3 + 1 = 153 dynamic instructions.
+	if st.Committed[0] != 153 {
+		t.Errorf("committed = %d", st.Committed[0])
+	}
+}
+
+func TestIdenticalThreadsFullyMerge(t *testing.T) {
+	// Two identical ME instances (the paper's Limit setup): everything
+	// except the initial fetch should be execute-identical.
+	cfg := DefaultConfig(2)
+	st, _ := runCore(t, cfg, loopSrc, prog.ModeME, nil)
+	ei, _, _, ni := st.IdenticalFractions()
+	if ei < 0.99 {
+		t.Errorf("exec-identical fraction = %f, want ~1", ei)
+	}
+	if ni != 0 {
+		t.Errorf("not-identical fraction = %f", ni)
+	}
+	merge, _, _ := st.FetchModeFractions()
+	if merge < 0.99 {
+		t.Errorf("MERGE fraction = %f", merge)
+	}
+	if st.Divergences != 0 {
+		t.Errorf("divergences = %d", st.Divergences)
+	}
+}
+
+// wideLoopSrc has a wide, mostly independent loop body: with several
+// threads the baseline contends for fetch bandwidth and ALUs, which is
+// where merged fetch/execution pays off.
+const wideLoopSrc = `
+        li    r6, 600
+loop:   add   r10, r10, r6
+        add   r11, r11, r6
+        add   r12, r12, r6
+        add   r13, r13, r6
+        add   r14, r14, r6
+        add   r15, r15, r6
+        add   r16, r16, r6
+        add   r17, r17, r6
+        add   r18, r10, r11
+        add   r19, r12, r13
+        xor   r20, r18, r19
+        add   r21, r21, r20
+        addi  r6, r6, -1
+        bnez  r6, loop
+        halt
+`
+
+func TestMergedFasterThanBase(t *testing.T) {
+	base := DefaultConfig(4)
+	base.SharedFetch, base.SharedExec, base.RegMerge = false, false, false
+	stBase, _ := runCore(t, base, wideLoopSrc, prog.ModeME, nil)
+
+	mmt := DefaultConfig(4)
+	stMMT, _ := runCore(t, mmt, wideLoopSrc, prog.ModeME, nil)
+
+	if stMMT.Cycles >= stBase.Cycles {
+		t.Errorf("MMT %d cycles, base %d cycles: no speedup on identical threads", stMMT.Cycles, stBase.Cycles)
+	}
+}
+
+// divergeSrc makes the two ME instances take different paths depending on
+// a per-instance input, then re-join at "join".
+const divergeSrc = `
+        li    r4, input
+        ld    r5, 0(r4)          ; per-instance input: 0 or 1
+        li    r6, 0
+        li    r7, 20
+outer:  bnez  r5, odd
+        addi  r6, r6, 1          ; even path
+        addi  r6, r6, 3
+        j     join
+odd:    addi  r6, r6, 2         ; odd path: different length
+        addi  r6, r6, 1
+        addi  r6, r6, 1
+join:   addi  r7, r7, -1
+        bnez  r7, outer
+        halt
+        .data
+input:  .word 0
+`
+
+func TestDivergenceAndRemerge(t *testing.T) {
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(ctx%2))
+	}
+	cfg := DefaultConfig(2)
+	st, _ := runCore(t, cfg, divergeSrc, prog.ModeME, init)
+	if st.Divergences == 0 {
+		t.Error("no divergences on divergent inputs")
+	}
+	if st.Remerges == 0 {
+		t.Error("threads never remerged")
+	}
+	m, d, cu := st.FetchModeFractions()
+	if m == 0 || d == 0 {
+		t.Errorf("mode fractions merge=%f detect=%f catchup=%f", m, d, cu)
+	}
+}
+
+func TestLVIPRollback(t *testing.T) {
+	// Both instances load the same address but see different values:
+	// the LVIP first predicts identical and must roll back.
+	src := `
+        li    r4, input
+        li    r7, 10
+loop:   ld    r5, 0(r4)
+        add   r6, r6, r5
+        addi  r7, r7, -1
+        bnez  r7, loop
+        halt
+        .data
+input:  .word 5
+`
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(100+ctx))
+	}
+	cfg := DefaultConfig(2)
+	st, c := runCore(t, cfg, src, prog.ModeME, init)
+	if st.LVIPRollbacks == 0 {
+		t.Error("no LVIP rollback despite differing load values")
+	}
+	if c.LVIPStats().Mispredicts == 0 {
+		t.Error("LVIP did not record the mispredict")
+	}
+	// After learning, later iterations split the load: rollbacks must be
+	// far fewer than iterations.
+	if st.LVIPRollbacks > 3 {
+		t.Errorf("LVIP kept mispredicting: %d rollbacks", st.LVIPRollbacks)
+	}
+}
+
+func TestLVIPIdenticalValuesStayMerged(t *testing.T) {
+	// ME instances with identical memory: loads verify clean.
+	src := `
+        li    r4, input
+        ld    r5, 0(r4)
+        add   r6, r6, r5
+        halt
+        .data
+input:  .word 42
+`
+	cfg := DefaultConfig(2)
+	st, _ := runCore(t, cfg, src, prog.ModeME, nil)
+	if st.LVIPRollbacks != 0 {
+		t.Errorf("rollbacks = %d on identical memory", st.LVIPRollbacks)
+	}
+	if st.ExecIdentical == 0 {
+		t.Error("nothing executed merged")
+	}
+}
+
+func TestMultiThreadedSharedMemory(t *testing.T) {
+	// MT: threads write to disjoint stack slots, read shared data.
+	src := `
+        tid   r4
+        li    r5, shared
+        ld    r6, 0(r5)           ; shared load: same address+space
+        add   r7, r6, r4
+        st    r7, -8(sp)          ; per-thread stack
+        ld    r8, -8(sp)
+        halt
+        .data
+shared: .word 7
+`
+	cfg := DefaultConfig(2)
+	st, _ := runCore(t, cfg, src, prog.ModeMT, nil)
+	if st.TotalCommitted() != 14 {
+		t.Errorf("committed = %d", st.TotalCommitted())
+	}
+	// tid writes different values but the instructions are fetched
+	// together; downstream uses of r4 split.
+	if st.FetchIdenticalOnly == 0 {
+		t.Error("no fetch-identical-only instructions despite tid split")
+	}
+}
+
+func TestFourThreads(t *testing.T) {
+	cfg := DefaultConfig(4)
+	st, _ := runCore(t, cfg, loopSrc, prog.ModeME, nil)
+	ei, _, _, _ := st.IdenticalFractions()
+	if ei < 0.99 {
+		t.Errorf("4-thread exec-identical = %f", ei)
+	}
+	for th := 0; th < 4; th++ {
+		if st.Committed[th] != 153 {
+			t.Errorf("thread %d committed %d", th, st.Committed[th])
+		}
+	}
+}
+
+func TestMMTFSplitsEverything(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.SharedExec, cfg.RegMerge = false, false // MMT-F
+	st, _ := runCore(t, cfg, loopSrc, prog.ModeME, nil)
+	if st.ExecIdentical != 0 || st.ExecIdentRegMerge != 0 {
+		t.Error("MMT-F executed instructions merged")
+	}
+	if st.FetchIdenticalOnly == 0 {
+		t.Error("MMT-F found no fetch-identical instructions")
+	}
+}
+
+func TestRegisterMergingRecovers(t *testing.T) {
+	// Instances diverge, both paths write the same value to r6, then
+	// loop over r6-dependent work. Without register merging the post-
+	// divergence instructions stay split; with it they re-merge.
+	src := `
+        li    r4, input
+        ld    r5, 0(r4)
+        bnez  r5, other
+        li    r6, 99
+        j     join
+other:  nop
+        li    r6, 99
+join:   li    r7, 400
+loop:   add   r8, r6, r7
+        mul   r9, r6, r6
+        addi  r7, r7, -1
+        bnez  r7, loop
+        halt
+        .data
+input:  .word 0
+`
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(ctx%2))
+	}
+	with := DefaultConfig(2)
+	stWith, _ := runCore(t, with, src, prog.ModeME, init)
+
+	without := DefaultConfig(2)
+	without.RegMerge = false
+	stWithout, _ := runCore(t, without, src, prog.ModeME, init)
+
+	if stWith.RegMergeHits == 0 {
+		t.Error("register merging never fired")
+	}
+	if stWith.ExecIdentRegMerge == 0 {
+		t.Error("no instructions attributed to register merging")
+	}
+	tot := func(s *Stats) uint64 { return s.ExecIdentical + s.ExecIdentRegMerge }
+	if tot(stWith) <= tot(stWithout) {
+		t.Errorf("regmerge did not increase merged execution: with=%d without=%d",
+			tot(stWith), tot(stWithout))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.SharedFetch = false // SharedExec still true: invalid
+	if _, err := New(cfg, buildSys(t, loopSrc, prog.ModeME, 2, nil)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg = DefaultConfig(0)
+	if err := cfg.Validate(); err == nil {
+		t.Error("0 threads accepted")
+	}
+	cfg = DefaultConfig(2)
+	cfg.SharedExec = false // RegMerge still true
+	if err := cfg.Validate(); err == nil {
+		t.Error("regmerge without shared exec accepted")
+	}
+	cfg = DefaultConfig(2)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestThreadMismatch(t *testing.T) {
+	sys := buildSys(t, loopSrc, prog.ModeME, 2, nil)
+	if _, err := New(DefaultConfig(4), sys); err == nil {
+		t.Error("thread/context mismatch accepted")
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MaxCycles = 10
+	sys := buildSys(t, loopSrc, prog.ModeME, 1, nil)
+	c, err := New(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err == nil {
+		t.Error("MaxCycles did not abort")
+	}
+}
+
+func TestMaxInstsCapsRun(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MaxInsts = 20
+	sys := buildSys(t, loopSrc, prog.ModeME, 1, nil)
+	c, err := New(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed[0] != 20 {
+		t.Errorf("committed = %d, want 20", st.Committed[0])
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var st Stats
+	st.RecordRemergeDistance(10)
+	st.RecordRemergeDistance(100)
+	st.RecordRemergeDistance(600)
+	if st.RemergeDistance[0] != 1 || st.RemergeDistance[3] != 1 || st.RemergeDistance[6] != 1 {
+		t.Errorf("histogram %v", st.RemergeDistance)
+	}
+	if w := st.RemergeWithin(512); w < 0.66 || w > 0.67 {
+		t.Errorf("within 512 = %f", w)
+	}
+	if w := st.RemergeWithin(16); w < 0.33 || w > 0.34 {
+		t.Errorf("within 16 = %f", w)
+	}
+}

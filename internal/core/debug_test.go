@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"mmt/internal/prog"
+)
+
+// TestDebugCycleComparison is a diagnostic aid, skipped unless -run selects
+// it explicitly with -v.
+func TestDebugCycleComparison(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic")
+	}
+	run := func(name string, cfg Config) {
+		st, c := runCore(t, cfg, loopSrc, prog.ModeME, nil)
+		t.Logf("%s: cycles=%d committed=%d mispredicts=%d fetchUops=%d renamed=%d issued=%d tcHits=%d robFull=%d iqFull=%d fqFull=%d merges=%d div=%d",
+			name, st.Cycles, st.TotalCommitted(), st.Mispredicts, st.FetchUops,
+			st.RenamedUops, st.IssuedUops, st.TraceCacheHits,
+			st.ROBFullStop, st.IQFullStop, st.FetchQFullStop, st.Remerges, st.Divergences)
+		_ = c
+	}
+	b1 := DefaultConfig(1)
+	b1.SharedFetch, b1.SharedExec, b1.RegMerge = false, false, false
+	run("base-1T", b1)
+	b2 := DefaultConfig(2)
+	b2.SharedFetch, b2.SharedExec, b2.RegMerge = false, false, false
+	run("base-2T", b2)
+	f2 := DefaultConfig(2)
+	f2.SharedExec, f2.RegMerge = false, false
+	run("mmtF-2T", f2)
+	x2 := DefaultConfig(2)
+	x2.RegMerge = false
+	run("mmtFX-2T", x2)
+	run("mmtFXR-2T", DefaultConfig(2))
+}

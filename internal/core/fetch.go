@@ -1,0 +1,573 @@
+package core
+
+import (
+	"fmt"
+
+	"mmt/internal/isa"
+)
+
+// group is a set of threads fetching the same instruction stream (one
+// fetch PC). With shared fetch disabled every thread is a permanent
+// singleton group. Groups split at divergent control instructions and
+// merge back through DETECT/CATCHUP (or directly, when their fetch PCs
+// coincide).
+type group struct {
+	members ITID
+	// stallUntil delays fetch (I-cache miss fill, mispredict redirect,
+	// rollback refetch penalty).
+	stallUntil uint64
+	// waitBranch is a mispredicted control uop this group's fetch waits
+	// on; cleared at resolution.
+	waitBranch *uop
+	// ahead is the group this one is catching up to (behind role).
+	ahead *group
+	// behindCnt counts groups catching up to this one (ahead role).
+	behindCnt int
+	// takenSinceDiverge counts taken branches fetched since this group
+	// was created by a divergence (remerge-distance statistic).
+	takenSinceDiverge uint64
+	// catchupInsts counts instructions fetched while catching up; a
+	// bound aborts catchups that fail to converge (liveness valve).
+	catchupInsts uint64
+	// Software-hint synchronization (SyncHints): the group is parked at
+	// a remerge hint until parkDeadline; after a timeout it refuses to
+	// re-park until parkCooldown.
+	parked       bool
+	parkDeadline uint64
+	parkCooldown uint64
+	dead         bool
+}
+
+// catchupLimit bounds instructions a behind group may fetch in one CATCHUP
+// episode before the attempt is abandoned as a false positive.
+const catchupLimit = 2048
+
+// groupMode classifies the fetch mode of instructions this group fetches
+// (paper Fig. 3a / Fig. 5d accounting). The boosted-priority behind thread
+// is in CATCHUP; the ahead thread keeps fetching in its own mode.
+func (g *group) fetchMode() FetchMode {
+	if g.ahead != nil {
+		return FetchCatchup
+	}
+	if g.members.Count() >= 2 {
+		return FetchMerge
+	}
+	return FetchDetect
+}
+
+// canFetch reports whether the group can fetch at cycle now.
+func (c *Core) canFetch(g *group, now uint64) bool {
+	if g.dead || g.stallUntil > now || g.waitBranch != nil {
+		return false
+	}
+	if g.parked {
+		if now < g.parkDeadline {
+			return false
+		}
+		// Timed out waiting at the hint: give up, resume, and refuse
+		// to re-park for a cooldown period.
+		g.parked = false
+		g.parkCooldown = now + c.cfg.HintParkTimeout
+	}
+	_, ok := c.streams[g.members.First()].nextPC()
+	return ok
+}
+
+// cancelCatchup drops g's behind-role link.
+func (c *Core) cancelCatchup(g *group) {
+	if g.ahead != nil {
+		g.ahead.behindCnt--
+		g.ahead = nil
+	}
+}
+
+// dissolveLinks removes every catchup association involving g.
+func (c *Core) dissolveLinks(g *group) {
+	c.cancelCatchup(g)
+	if g.behindCnt > 0 {
+		for _, o := range c.groups {
+			if o.ahead == g {
+				o.ahead = nil
+			}
+		}
+		g.behindCnt = 0
+	}
+}
+
+// liveGroups compacts the group list, dropping dead groups.
+func (c *Core) liveGroups() []*group {
+	out := c.groups[:0]
+	for _, g := range c.groups {
+		if !g.dead {
+			out = append(out, g)
+		}
+	}
+	c.groups = out
+	return out
+}
+
+// attemptMerges unifies groups whose fetch PCs coincide. This covers both
+// the CATCHUP completion case (the behind group reached the ahead group's
+// PC) and the degenerate case where divergent paths re-join exactly in
+// step.
+func (c *Core) attemptMerges(now uint64) {
+	if !c.cfg.SharedFetch {
+		return
+	}
+	for changed := true; changed; {
+		changed = false
+		gs := c.liveGroups()
+		for i := 0; i < len(gs) && !changed; i++ {
+			for j := i + 1; j < len(gs); j++ {
+				a, b := gs[i], gs[j]
+				if a.stallUntil > now || b.stallUntil > now || a.waitBranch != nil || b.waitBranch != nil {
+					continue
+				}
+				pa, oka := c.streams[a.members.First()].nextPC()
+				pb, okb := c.streams[b.members.First()].nextPC()
+				if !oka || !okb || pa != pb {
+					continue
+				}
+				c.mergeGroups(a, b)
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// mergeGroups unifies b into a.
+func (c *Core) mergeGroups(a, b *group) {
+	c.stats.Remerges++
+	dist := a.takenSinceDiverge
+	if b.takenSinceDiverge > dist {
+		dist = b.takenSinceDiverge
+	}
+	c.stats.RecordRemergeDistance(dist)
+	c.dissolveLinks(a)
+	c.dissolveLinks(b)
+	a.members |= b.members
+	a.takenSinceDiverge = 0
+	a.parked = false
+	a.parkCooldown = 0
+	if b.stallUntil > a.stallUntil {
+		a.stallUntil = b.stallUntil
+	}
+	b.dead = true
+	b.members = 0
+	// The FHBs keep their rolling history: if the merged group diverges
+	// again soon, the recent common-path targets are still valid for
+	// re-detecting the remerge (stale entries are handled by the
+	// CATCHUP false-positive abort).
+}
+
+// splitGroup replaces g with one subgroup per distinct next PC after a
+// divergent control instruction.
+func (c *Core) splitGroup(g *group, parts []ITID) []*group {
+	c.stats.Divergences++
+	c.dissolveLinks(g)
+	g.dead = true
+	g.members = 0
+	var out []*group
+	for _, p := range parts {
+		ng := &group{members: p, stallUntil: g.stallUntil}
+		c.groups = append(c.groups, ng)
+		out = append(out, ng)
+	}
+	return out
+}
+
+// fetchOrder returns groups in fetch priority order: behind (CATCHUP)
+// groups first, then ordinary groups round-robin, then ahead-engaged
+// groups — but only when every group catching up to them cannot fetch
+// this cycle (the paper lowers the ahead thread's priority so the behind
+// thread can close the gap).
+func (c *Core) fetchOrder(now uint64) []*group {
+	gs := c.liveGroups()
+	var behind, normal, engaged []*group
+	for _, g := range gs {
+		switch {
+		case g.ahead != nil:
+			behind = append(behind, g)
+		case g.behindCnt > 0:
+			engaged = append(engaged, g)
+		default:
+			normal = append(normal, g)
+		}
+	}
+	if len(normal) > 1 {
+		r := int(c.rotate) % len(normal)
+		normal = append(normal[r:], normal[:r]...)
+	}
+	c.rotate++
+	order := append(behind, normal...)
+	for _, g := range engaged {
+		// The ahead thread keeps a reduced duty cycle (the paper lowers
+		// its priority rather than freezing it) and always fetches when
+		// every group catching up to it is stalled anyway.
+		allStalled := true
+		for _, b := range gs {
+			if b.ahead == g && c.canFetch(b, now) {
+				allStalled = false
+				break
+			}
+		}
+		if allStalled || (c.cfg.AheadDuty > 0 && now%c.cfg.AheadDuty == 0) {
+			order = append(order, g)
+		}
+	}
+	return order
+}
+
+// fetchStage fetches up to FetchWidth instructions into the fetch queue.
+func (c *Core) fetchStage(now uint64) {
+	c.attemptMerges(now)
+	width := c.cfg.FetchWidth
+	groupsLeft := c.cfg.MaxFetchGroups
+	for _, g := range c.fetchOrder(now) {
+		if width <= 0 || groupsLeft <= 0 {
+			break
+		}
+		n := c.fetchGroup(g, width, now)
+		width -= n
+		if n > 0 {
+			groupsLeft--
+		}
+		if g.ahead != nil {
+			g.catchupInsts += uint64(n)
+			if g.catchupInsts > catchupLimit {
+				c.stats.CatchupsAborted++
+				c.cancelCatchup(g)
+				g.catchupInsts = 0
+			}
+		}
+	}
+}
+
+// fetchGroup fetches a run of instructions for one group; returns the
+// number of fetch slots consumed.
+func (c *Core) fetchGroup(g *group, width int, now uint64) int {
+	// A group waiting on an unresolved mispredicted branch fetches down
+	// the wrong path: the slots are consumed (and never become uops),
+	// instead of being silently re-assigned to other threads.
+	if g.waitBranch != nil && g.stallUntil <= now && !g.dead {
+		share := c.cfg.FetchWidth / c.cfg.MaxFetchGroups
+		if share < 1 {
+			share = 1
+		}
+		if share > width {
+			share = width
+		}
+		c.stats.WrongPathFetchSlots += uint64(share)
+		return share
+	}
+	if !c.canFetch(g, now) {
+		return 0
+	}
+	leader := g.members.First()
+	startPC, _ := c.streams[leader].nextPC()
+
+	// Trace-cache lookup at the cycle's fetch point: a hit lets fetch
+	// continue through taken branches, and — per §5's "perfect trace
+	// prediction" — control flow inside a resident trace never pays a
+	// resolution stall.
+	hops := 0
+	traceHit := false
+	if c.tc != nil {
+		if br, ok := c.tc.Lookup(startPC); ok {
+			hops = br
+			if hops > c.cfg.TraceHops {
+				hops = c.cfg.TraceHops
+			}
+			traceHit = true
+			c.stats.TraceCacheHits++
+		}
+	}
+
+	fetched := 0
+	var curLine uint64
+	lineValid := false
+	for fetched < width {
+		if len(c.fetchQ) >= c.cfg.FetchQueue {
+			c.stats.FetchQFullStop++
+			break
+		}
+		rec, ok := c.streams[leader].peek()
+		if !ok {
+			break
+		}
+		// CATCHUP completion: the behind group's fetch PC reached the
+		// (frozen) ahead group's PC — merge instead of fetching past
+		// it. This check must be per-instruction: at 8-wide fetch the
+		// behind thread would otherwise jump over the merge point
+		// inside a cycle.
+		if g.ahead != nil && !g.ahead.dead {
+			if apc, aok := c.streams[g.ahead.members.First()].nextPC(); aok && apc == rec.pc {
+				ahead := g.ahead
+				c.mergeGroups(ahead, g)
+				break
+			}
+		}
+		// Software-hint synchronization (Thread Fusion baseline): park
+		// at a remerge hint while other thread groups are still out,
+		// so they can arrive and merge here.
+		if c.cfg.Sync == SyncHints && c.hintPCs[rec.pc] && now >= g.parkCooldown &&
+			g.members.Count() < c.cfg.Threads && len(c.liveGroups()) > 1 {
+			g.parked = true
+			g.parkDeadline = now + c.cfg.HintParkTimeout
+			c.stats.HintParks++
+			break
+		}
+		// Instruction-cache access at line granularity.
+		line := rec.pc &^ uint64(c.cfg.Mem.L1I.LineBytes-1)
+		if !lineValid || line != curLine {
+			done := c.mem.FetchInst(rec.pc, now)
+			curLine, lineValid = line, true
+			if done > now+c.cfg.Mem.L1Latency {
+				g.stallUntil = done
+				break
+			}
+		}
+
+		u := c.buildUop(g, rec, now, traceHit)
+		fetched++
+		if u == nil { // divergence or stall decided inside
+			break
+		}
+		if u.halt {
+			break
+		}
+		if u.inst.Op.IsControl() {
+			taken := u.effs[leader].Taken
+			if g.waitBranch != nil {
+				break // mispredicted: stall until resolution
+			}
+			if taken {
+				if hops > 0 {
+					hops--
+					continue // trace cache: fetch through the branch
+				}
+				break // redirect: resume next cycle
+			}
+		}
+	}
+	return fetched
+}
+
+// buildUop consumes one record from every member stream, creates the uop,
+// places it in the fetch queue, and handles control-flow consequences
+// (prediction, divergence, FHB bookkeeping). Returns nil when the group
+// diverged (the uop itself is still enqueued).
+func (c *Core) buildUop(g *group, leadRec *dynRec, now uint64, traceHit bool) *uop {
+	u := &uop{
+		pc:        leadRec.pc,
+		inst:      leadRec.inst,
+		class:     leadRec.inst.Op.Class(),
+		itid:      g.members,
+		fetchITID: g.members,
+		mode:      g.fetchMode(),
+		halt:      leadRec.inst.Op == isa.OpHalt,
+		isLoad:    leadRec.inst.Op.Class() == isa.ClassLoad,
+		isStore:   leadRec.inst.Op.Class() == isa.ClassStore,
+	}
+	for _, t := range g.members.Threads() {
+		rec, ok := c.streams[t].peek()
+		if !ok {
+			panic(fmt.Sprintf("core: group invariant violated: thread %d exhausted, leader at %#x", t, u.pc))
+		}
+		if rec.pc != u.pc {
+			panic(fmt.Sprintf("core: group invariant violated: thread %d at %#x, leader at %#x", t, rec.pc, u.pc))
+		}
+		u.effs[t] = rec.eff
+		u.dynIdx[t] = rec.idx
+		c.streams[t].advance()
+	}
+	c.fetchQ = append(c.fetchQ, u)
+	c.stats.FetchUops++
+	c.stats.FetchedByMode[u.mode] += uint64(g.members.Count())
+
+	if !u.inst.Op.IsControl() {
+		return u
+	}
+	return c.handleControl(g, u, now, traceHit)
+}
+
+// handleControl performs branch prediction, detects divergence, and drives
+// the DETECT/CATCHUP state machine. Returns nil if the group diverged.
+// traceHit enables perfect trace prediction: control flow along the
+// (leader's) trace path pays no resolution stall, and subgroups leaving
+// the trace pay only a fixed front-end redirect.
+func (c *Core) handleControl(g *group, u *uop, now uint64, traceHit bool) *uop {
+	leader := g.members.First()
+	c.stats.BranchUops++
+
+	// Partition members by actual next PC (the oracle's outcomes).
+	var parts []ITID
+	var partPC []uint64
+	for _, t := range g.members.Threads() {
+		np := u.effs[t].NextPC
+		found := false
+		for i, pc := range partPC {
+			if pc == np {
+				parts[i] = parts[i].With(t)
+				found = true
+				break
+			}
+		}
+		if !found {
+			parts = append(parts, ITIDOf(t))
+			partPC = append(partPC, np)
+		}
+	}
+
+	// Prediction. One front-end prediction per fetched control uop.
+	predictedNext := u.pc + isa.InstBytes
+	switch {
+	case u.inst.Op.IsBranch():
+		if c.bp.Dir.Predict(leader, u.pc) {
+			predictedNext = uint64(u.inst.Imm)
+		}
+		// Train with each member's outcome (shared PHT, per-thread
+		// history, as in an SMT front end).
+		for _, t := range g.members.Threads() {
+			if c.bp.Dir.Update(t, u.pc, u.effs[t].Taken) {
+				if t == leader {
+					c.stats.PredictorHits++
+				}
+			}
+		}
+	case u.inst.Op == isa.OpJal:
+		predictedNext = uint64(u.inst.Imm)
+		if u.inst.Rd == isa.RegRA {
+			for _, t := range g.members.Threads() {
+				c.bp.RAS[t].Push(u.pc + isa.InstBytes)
+			}
+			c.stats.RASPushes++
+		}
+	case u.inst.Op == isa.OpJalr:
+		if u.inst.Rd == isa.RegZero && u.inst.Rs1 == isa.RegRA {
+			// Return: predict with the RAS.
+			c.stats.RASPops++
+			for _, t := range g.members.Threads() {
+				if tgt, ok := c.bp.RAS[t].Pop(); ok && t == leader {
+					predictedNext = tgt
+				}
+			}
+		} else {
+			c.stats.BTBLookups++
+			if tgt, ok := c.bp.BTB.Lookup(u.pc); ok {
+				predictedNext = tgt
+			}
+			c.bp.BTB.Insert(u.pc, u.effs[leader].NextPC)
+		}
+	}
+
+	// Taken-branch bookkeeping: FHB recording and catchup transitions
+	// happen whenever the machine is not globally merged.
+	takenAny := false
+	for _, t := range g.members.Threads() {
+		if u.effs[t].Taken {
+			takenAny = true
+		}
+	}
+	if takenAny && c.cfg.SharedFetch && len(c.liveGroups()) > 1 {
+		g.takenSinceDiverge++
+		if c.cfg.Sync == SyncFHB {
+			target := u.effs[leader].NextPC
+			for _, t := range g.members.Threads() {
+				c.fhb[t].Record(target)
+				c.stats.FHBInserts++
+			}
+			c.updateCatchup(g, target)
+		}
+	}
+
+	// The path the front end follows without a redirect: the trace path
+	// under perfect trace prediction, the predictor's path otherwise.
+	followPath := predictedNext
+	if traceHit {
+		followPath = u.effs[leader].NextPC
+	}
+
+	if len(parts) > 1 {
+		// Divergence: split the group. Subgroups leaving the followed
+		// path redirect — a fixed front-end penalty under a trace hit,
+		// a stall until the branch resolves otherwise.
+		if c.stats.DivergencePCs == nil {
+			c.stats.DivergencePCs = make(map[uint64]uint64)
+		}
+		c.stats.DivergencePCs[u.pc]++
+		subs := c.splitGroup(g, parts)
+		for i, sg := range subs {
+			if partPC[i] == followPath {
+				continue
+			}
+			c.stats.Mispredicts++
+			if traceHit {
+				if s := now + c.cfg.DivergeRedirectPenalty; s > sg.stallUntil {
+					sg.stallUntil = s
+				}
+			} else {
+				sg.waitBranch = u
+				u.stalledGroups = append(u.stalledGroups, sg)
+			}
+		}
+		return nil
+	}
+
+	// Unanimous outcome: a wrong front-end path stalls the whole group.
+	if u.effs[leader].NextPC != followPath {
+		c.stats.Mispredicts++
+		g.waitBranch = u
+		u.stalledGroups = append(u.stalledGroups, g)
+	}
+	return u
+}
+
+// updateCatchup advances the DETECT/CATCHUP state machine for group g
+// after it fetched a taken branch to target.
+func (c *Core) updateCatchup(g *group, target uint64) {
+	c.stats.FHBSearches++
+	if g.ahead != nil {
+		// CATCHUP: the behind group must keep finding its targets in
+		// the ahead group's history, else the match was a false
+		// positive and we fall back to DETECT (§4.1).
+		if !c.groupFHBContains(g.ahead, target) {
+			c.stats.CatchupsAborted++
+			c.cancelCatchup(g)
+		}
+		return
+	}
+	// DETECT: search other groups' member FHBs for our target.
+	for _, o := range c.groups {
+		if o.dead || o == g || o.members&g.members != 0 {
+			continue
+		}
+		if c.groupFHBContains(o, target) {
+			g.ahead = o
+			g.catchupInsts = 0
+			o.behindCnt++
+			c.stats.CatchupsStarted++
+			return
+		}
+	}
+}
+
+func (c *Core) groupFHBContains(g *group, target uint64) bool {
+	for _, t := range g.members.Threads() {
+		if c.fhb[t].Contains(target) {
+			return true
+		}
+	}
+	return false
+}
+
+// retireTrace feeds the per-thread trace builders at commit.
+func (c *Core) retireTrace(u *uop) {
+	if c.tc == nil {
+		return
+	}
+	for _, t := range u.itid.Threads() {
+		c.tb[t].Retire(u.pc, u.effs[t].Taken)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "testing"
+
+func TestFHBRecordContains(t *testing.T) {
+	f := NewFHB(4)
+	if f.Contains(0x100) {
+		t.Error("empty FHB matched")
+	}
+	f.Record(0x100)
+	f.Record(0x200)
+	if !f.Contains(0x100) || !f.Contains(0x200) {
+		t.Error("recorded targets missing")
+	}
+	if f.Occupancy() != 2 {
+		t.Errorf("occupancy = %d", f.Occupancy())
+	}
+}
+
+func TestFHBWrapsOldest(t *testing.T) {
+	f := NewFHB(2)
+	f.Record(1)
+	f.Record(2)
+	f.Record(3) // evicts 1
+	if f.Contains(1) {
+		t.Error("oldest entry survived")
+	}
+	if !f.Contains(2) || !f.Contains(3) {
+		t.Error("recent entries missing")
+	}
+}
+
+func TestFHBClear(t *testing.T) {
+	f := NewFHB(4)
+	f.Record(1)
+	f.Clear()
+	if f.Contains(1) || f.Occupancy() != 0 {
+		t.Error("clear did not clear")
+	}
+}
+
+func TestFHBCounters(t *testing.T) {
+	f := NewFHB(4)
+	f.Record(9)
+	f.Contains(9)
+	f.Contains(10)
+	if f.Inserts != 1 || f.Searches != 2 || f.Matches != 1 {
+		t.Errorf("counters = %d/%d/%d", f.Inserts, f.Searches, f.Matches)
+	}
+}
+
+func TestLVIPDefaultsToIdentical(t *testing.T) {
+	p := NewLVIP(16)
+	if !p.PredictIdentical(0x1000) {
+		t.Error("initial prediction not identical")
+	}
+}
+
+func TestLVIPLearnsMispredicts(t *testing.T) {
+	p := NewLVIP(16)
+	p.RecordMispredict(0x1000)
+	if p.PredictIdentical(0x1000) {
+		t.Error("mispredicted PC still predicted identical")
+	}
+	// Other PCs unaffected.
+	if !p.PredictIdentical(0x2000) {
+		t.Error("unrelated PC affected")
+	}
+	// Re-learning.
+	p.RecordIdentical(0x1000)
+	if !p.PredictIdentical(0x1000) {
+		t.Error("PC not rehabilitated")
+	}
+}
+
+func TestLVIPSizeRounding(t *testing.T) {
+	if NewLVIP(4096).Size() != 4096 {
+		t.Error("power-of-two size changed")
+	}
+	if NewLVIP(5).Size() != 8 {
+		t.Error("size not rounded up")
+	}
+}
+
+func TestLVIPCounters(t *testing.T) {
+	p := NewLVIP(16)
+	p.PredictIdentical(0x10)
+	p.RecordMispredict(0x10)
+	p.PredictIdentical(0x10)
+	if p.Lookups != 2 || p.PredIdent != 1 || p.PredDiffer != 1 || p.Mispredicts != 1 {
+		t.Errorf("counters %+v", p)
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+import "mmt/internal/prog"
+
+// dataSpace returns the address-space id for thread t's access to addr:
+// multi-threaded workloads share one space, multi-execution processes have
+// one each, and message-passing ranks are private except for the shared
+// mailbox window.
+func (c *Core) dataSpace(t int, addr uint64) uint8 {
+	switch c.mode {
+	case prog.ModeME:
+		return uint8(t)
+	case prog.ModeMP:
+		if prog.InMbox(addr) {
+			return 0
+		}
+		return uint8(t)
+	default:
+		return 0
+	}
+}
+
+// memPrivate reports whether an access to addr goes to per-context memory
+// (so a merged op must expand to one access per member).
+func (c *Core) memPrivate(addr uint64) bool {
+	switch c.mode {
+	case prog.ModeME:
+		return true
+	case prog.ModeMP:
+		return !prog.InMbox(addr)
+	default:
+		return false
+	}
+}
+
+// issueStage selects ready uops oldest-first up to IssueWidth, subject to
+// functional-unit and load/store-port availability.
+func (c *Core) issueStage(now uint64) {
+	issued := 0
+	intFree := c.cfg.IntALUs
+	fpFree := c.cfg.FPUs
+	lsFree := c.cfg.LSPorts
+	for _, u := range c.window {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if u.state != uopReady {
+			continue
+		}
+		switch {
+		case u.isLoad:
+			if lsFree < 1 {
+				continue
+			}
+			ports := 1
+			if u.memPerThread {
+				// A merged multi-execution load expands to one access
+				// per process; the LSQ performs them "serially"
+				// (§4.2.5) across the ports available this cycle.
+				ports = u.itid.Count()
+				if ports > lsFree {
+					ports = lsFree
+				}
+			}
+			lsFree -= ports
+			u.doneAt = c.issueLoad(u, ports, now)
+		case u.isStore:
+			// Stores compute their address at issue; the cache write
+			// happens at commit.
+			if lsFree < 1 {
+				continue
+			}
+			lsFree--
+			u.doneAt = now + 1
+		default:
+			switch fuOf(u.class) {
+			case fuInt:
+				if intFree < 1 {
+					continue
+				}
+				intFree--
+			case fuFP:
+				if fpFree < 1 {
+					continue
+				}
+				fpFree--
+			}
+			u.doneAt = now + execLatency(u.class)
+		}
+		u.state = uopIssued
+		c.iqOcc--
+		issued++
+		c.stats.IssuedUops++
+		c.stats.FUOps++
+	}
+}
+
+// issueLoad performs the cache access(es) for a load. A merged
+// multi-execution load reads the same address in each member's private
+// space (paper §4.2.5: "expands the loads ... and performs them
+// serially"); accesses beyond the ports granted this cycle start on later
+// cycles, and completion is the slowest access.
+func (c *Core) issueLoad(u *uop, ports int, now uint64) uint64 {
+	if u.memPerThread {
+		var done uint64
+		for i, t := range u.itid.Threads() {
+			start := now + uint64(i/ports)
+			d := c.mem.AccessData(c.dataSpace(t, u.effs[t].Addr), u.effs[t].Addr, false, start)
+			if d > done {
+				done = d
+			}
+			c.stats.LSQAccesses++
+		}
+		return done
+	}
+	t := u.leader()
+	c.stats.LSQAccesses++
+	return c.mem.AccessData(c.dataSpace(t, u.effs[t].Addr), u.effs[t].Addr, false, now)
+}
+
+// completeStage retires execution results: uops whose doneAt has arrived
+// become done, wake their consumers, release branch-stalled fetch groups,
+// and — for value-predicted merged loads — verify the LVIP prediction,
+// possibly triggering a rollback.
+func (c *Core) completeStage(now uint64) {
+	// Oldest-first so that an LVIP rollback squashes younger completions
+	// before they act.
+	for _, u := range c.window {
+		if u.state != uopIssued || u.doneAt > now {
+			continue
+		}
+		if u.state == uopSquashed {
+			continue
+		}
+		u.state = uopDone
+
+		// Verify merged-load value prediction (paper §4.2.5: "wait for
+		// both loads to return, check the values, compare the result
+		// to the prediction, and possibly trigger a rollback"). Merged
+		// shared-memory loads verify the no-intervening-write
+		// assumption the same way, without touching the predictor.
+		if u.lvipPredIdent {
+			if c.loadValuesDiffer(u) {
+				c.lvipRollback(u, now, true)
+			} else {
+				c.lvip.RecordIdentical(u.pc)
+			}
+		} else if u.sharedVerify && c.loadValuesDiffer(u) {
+			c.lvipRollback(u, now, false)
+		}
+		if u.state == uopSquashed {
+			continue
+		}
+
+		for _, cons := range u.consumers {
+			if cons.state == uopWaiting {
+				cons.ndeps--
+				if cons.ndeps == 0 {
+					cons.state = uopReady
+				}
+			}
+		}
+		for _, g := range u.stalledGroups {
+			if g.waitBranch == u {
+				g.waitBranch = nil
+				if s := now + c.cfg.MispredictPenalty; s > g.stallUntil {
+					g.stallUntil = s
+				}
+			}
+		}
+		u.stalledGroups = nil
+	}
+}
+
+// loadValuesDiffer reports whether a merged ME load's per-process values
+// disagree.
+func (c *Core) loadValuesDiffer(u *uop) bool {
+	threads := u.itid.Threads()
+	first := u.effs[threads[0]].LoadVal
+	for _, t := range threads[1:] {
+		if u.effs[t].LoadVal != first {
+			return true
+		}
+	}
+	return false
+}
+
+// lvipRollback handles a value-identical mispredict on a merged load: the
+// load is demoted to split (per-thread destinations), every younger uop of
+// the affected threads is squashed, their streams rewind, and fetch
+// restarts after a redirect penalty. train selects whether the LVIP
+// records the event (private-memory loads) or not (shared-memory races).
+func (c *Core) lvipRollback(u *uop, now uint64, train bool) {
+	c.stats.LVIPRollbacks++
+	if train {
+		c.lvip.RecordMispredict(u.pc)
+	}
+	affected := u.itid
+
+	c.squashYounger(affected, u.seq, now)
+
+	// The load itself survives but its destination becomes per-thread
+	// (distinct mappings), as if the split stage had split it.
+	u.forcedSplit = true
+	u.lvipPredIdent = false
+	u.sharedVerify = false
+	if dest, ok := u.inst.Dest(); ok {
+		for _, t := range affected.Threads() {
+			c.rst.WriteSplit(t, dest)
+			u.destVer[t] = c.rst.version[t][dest]
+		}
+	}
+}
+
+// squashYounger rolls back every uop younger than afterSeq whose ITID
+// intersects affected: their destination mappings are undone (reverse
+// order), streams rewind to the squash point, and the affected threads
+// restart fetch in fresh singleton groups after the redirect penalty.
+func (c *Core) squashYounger(affected ITID, afterSeq uint64, now uint64) {
+	// Reverse order: undo rename effects youngest-first.
+	for i := len(c.window) - 1; i >= 0; i-- {
+		w := c.window[i]
+		if w.seq <= afterSeq {
+			break
+		}
+		if w.state == uopSquashed || w.itid&affected == 0 {
+			continue
+		}
+		c.squashFrom(w, affected, now)
+	}
+	// Uops still in the fetch queue have no rename state to undo.
+	// Everything in the fetch queue is younger than any renamed uop.
+	keep := c.fetchQ[:0]
+	for _, w := range c.fetchQ {
+		if w.itid&affected != 0 {
+			w.itid &^= affected
+			w.fetchITID = w.itid
+			w.pendingPieces = nil // invalidate the split latch
+			if w.itid == 0 {
+				w.state = uopSquashed
+				c.stats.SquashedUops++
+				for _, g := range w.stalledGroups {
+					if g.waitBranch == w {
+						g.waitBranch = nil
+						if s := now + c.cfg.MispredictPenalty; s > g.stallUntil {
+							g.stallUntil = s
+						}
+					}
+				}
+				w.stalledGroups = nil
+				continue
+			}
+		}
+		keep = append(keep, w)
+	}
+	c.fetchQ = keep
+
+	// Rebuild rename bookkeeping for the affected threads.
+	c.rebuildWriterState(affected)
+
+	// Rewind streams and restart fetch.
+	for _, t := range affected.Threads() {
+		c.streams[t].rewindTo(c.rewindPoint(t, afterSeq))
+	}
+	c.regroupAfterSquash(affected, now)
+}
+
+// squashFrom removes the affected threads from one renamed uop, undoing
+// their destination mappings; the uop dies entirely when no threads
+// remain.
+func (c *Core) squashFrom(w *uop, affected ITID, now uint64) {
+	if dest, ok := w.inst.Dest(); ok {
+		for _, t := range w.itid.Threads() {
+			if !affected.Has(t) || !w.destUndo[t].valid {
+				continue
+			}
+			c.rst.version[t][dest] = w.destUndo[t].oldVer
+			c.rst.byMerge[t][dest] = w.destUndo[t].oldByMerge
+			w.destUndo[t].valid = false
+		}
+	}
+	removed := w.itid & affected
+	w.itid &^= affected
+	for _, t := range removed.Threads() {
+		c.removeFromROBQ(t, w)
+	}
+	if w.itid == 0 {
+		if w.state == uopWaiting || w.state == uopReady {
+			c.iqOcc--
+		}
+		w.state = uopSquashed
+		c.robOcc--
+		if w.isMem() {
+			c.lsqOcc -= w.lsqSlots
+		}
+		c.stats.SquashedUops++
+		// Release any surviving consumers waiting on this producer
+		// (possible when a merged consumer kept threads outside the
+		// squash set).
+		for _, cons := range w.consumers {
+			if cons.state == uopWaiting {
+				cons.ndeps--
+				if cons.ndeps == 0 {
+					cons.state = uopReady
+				}
+			}
+		}
+		// Release fetch groups stalled on this (now defunct) control
+		// uop: the branch will never resolve, so the group must not
+		// wait on it forever.
+		for _, g := range w.stalledGroups {
+			if g.waitBranch == w {
+				g.waitBranch = nil
+				if s := now + c.cfg.MispredictPenalty; s > g.stallUntil {
+					g.stallUntil = s
+				}
+			}
+		}
+		w.stalledGroups = nil
+		return
+	}
+	// Partial squash: the uop survives (and keeps its single LSQ entry)
+	// for the remaining threads.
+}
+
+func (c *Core) removeFromROBQ(t int, w *uop) {
+	q := c.robQ[t]
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] == w {
+			c.robQ[t] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// rewindPoint returns the dynamic index thread t must refetch from: the
+// record after the youngest surviving (non-squashed) uop ≤ afterSeq —
+// which, because squashing removed everything younger, is simply the
+// record after the thread's youngest remaining ROB entry.
+func (c *Core) rewindPoint(t int, afterSeq uint64) uint64 {
+	q := c.robQ[t]
+	if len(q) == 0 {
+		return c.streams[t].base
+	}
+	last := q[len(q)-1]
+	return last.dynIdx[t] + 1
+}
+
+// rebuildWriterState recomputes lastWriter and activeWriters for the
+// affected threads by walking the surviving window in order.
+func (c *Core) rebuildWriterState(affected ITID) {
+	for _, t := range affected.Threads() {
+		for r := range c.lastWriter[t] {
+			c.lastWriter[t][r] = nil
+			c.activeWriters[t][r] = 0
+		}
+	}
+	for _, w := range c.window {
+		if w.state == uopSquashed {
+			continue
+		}
+		dest, ok := w.inst.Dest()
+		if !ok {
+			continue
+		}
+		for _, t := range w.itid.Threads() {
+			if affected.Has(t) {
+				c.lastWriter[t][dest] = w
+				c.activeWriters[t][dest]++
+			}
+		}
+	}
+}
+
+// regroupAfterSquash pulls the affected threads out of their fetch groups
+// into fresh singleton groups that resume after the redirect penalty.
+func (c *Core) regroupAfterSquash(affected ITID, now uint64) {
+	for _, g := range c.groups {
+		if g.dead || g.members&affected == 0 {
+			continue
+		}
+		c.dissolveLinks(g)
+		g.members &^= affected
+		if g.members == 0 {
+			g.dead = true
+		}
+	}
+	for _, t := range affected.Threads() {
+		c.fhb[t].Clear()
+		c.groups = append(c.groups, &group{
+			members:    ITIDOf(t),
+			stallUntil: now + c.cfg.MispredictPenalty,
+		})
+	}
+}

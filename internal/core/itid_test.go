@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestITIDBasics(t *testing.T) {
+	m := ITIDOf(1).With(3)
+	if !m.Has(1) || !m.Has(3) || m.Has(0) || m.Has(2) {
+		t.Errorf("membership wrong for %v", m)
+	}
+	if m.Count() != 2 {
+		t.Errorf("count = %d", m.Count())
+	}
+	if m.First() != 1 {
+		t.Errorf("first = %d", m.First())
+	}
+	got := m.Threads()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("threads = %v", got)
+	}
+	if m.Without(1) != ITIDOf(3) {
+		t.Errorf("without = %v", m.Without(1))
+	}
+	if ITID(0).First() != -1 {
+		t.Error("empty first")
+	}
+}
+
+func TestITIDString(t *testing.T) {
+	if s := ITIDOf(0).With(1).With(2).With(3).String(); s != "1111" {
+		t.Errorf("full = %q", s)
+	}
+	if s := ITIDOf(1).With(2).String(); s != "0110" {
+		t.Errorf("0110 = %q", s)
+	}
+	if s := ITID(0).String(); s != "0000" {
+		t.Errorf("empty = %q", s)
+	}
+}
+
+func TestITIDProperties(t *testing.T) {
+	prop := func(raw uint8) bool {
+		m := ITID(raw & 0xf)
+		// Count equals number of Threads.
+		if len(m.Threads()) != m.Count() {
+			return false
+		}
+		// With/Without round trip.
+		for _, th := range m.Threads() {
+			if m.Without(th).With(th) != m {
+				return false
+			}
+		}
+		// First is the minimum member.
+		if m != 0 && m.Threads()[0] != m.First() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

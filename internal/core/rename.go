@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+
+	"mmt/internal/isa"
+)
+
+// renameStage moves uops from the fetch queue through the split stage
+// (paper §4.2.2) into the ROB/IQ/LSQ, consuming rename bandwidth. A
+// fetch-identical uop that splits consumes one rename slot per resulting
+// uop, exactly as the paper's extra pipeline stage produces "the minimal
+// set of 1–4 instructions".
+func (c *Core) renameStage(now uint64) {
+	slots := c.cfg.RenameWidth
+	for len(c.fetchQ) > 0 && slots > 0 {
+		u := c.fetchQ[0]
+		if u.state == uopSquashed { // squashed while still in the queue
+			c.fetchQ = c.fetchQ[1:]
+			continue
+		}
+		// The split latch: evaluate the split stage once per uop even
+		// when rename retries across cycles.
+		if u.pendingPieces == nil {
+			u.pendingPieces = c.splitUop(u)
+		}
+		pieces := u.pendingPieces
+		if len(pieces) > slots {
+			if slots < c.cfg.RenameWidth {
+				break // wait for a fresh cycle's full bandwidth
+			}
+			// A split wider than the rename stage itself (e.g. a 4-way
+			// split on a 2-wide machine) occupies the whole cycle and
+			// dispatches atomically.
+		}
+		if !c.windowSpace(pieces) {
+			break
+		}
+		c.fetchQ = c.fetchQ[1:]
+		for _, p := range pieces {
+			c.rename(p, now)
+		}
+		slots -= len(pieces)
+		if slots < 0 {
+			slots = 0
+		}
+	}
+}
+
+// windowSpace checks ROB/IQ/LSQ capacity for all pieces at once (a split
+// uop dispatches atomically).
+func (c *Core) windowSpace(pieces []*uop) bool {
+	lsq := 0
+	for _, p := range pieces {
+		if p.isMem() {
+			lsq += p.lsqSlots
+		}
+	}
+	if c.robOcc+len(pieces) > c.cfg.ROBSize {
+		c.stats.ROBFullStop++
+		return false
+	}
+	if c.iqOcc+len(pieces) > c.cfg.IQSize {
+		c.stats.IQFullStop++
+		return false
+	}
+	if c.lsqOcc+lsq > c.cfg.LSQSize {
+		c.stats.LSQFullStop++
+		return false
+	}
+	return true
+}
+
+// splitUop implements the decision logic of paper Table 2: given a
+// fetch-identical uop, produce the minimal set of uops with disjoint
+// ITIDs. With shared execution disabled (MMT-F), every fetch-identical uop
+// splits into singletons at decode.
+func (c *Core) splitUop(u *uop) []*uop {
+	if u.fetchITID.Count() == 1 {
+		u.lsqSlots = c.lsqSlotsFor(u, u.itid)
+		u.memPerThread = false
+		return []*uop{u}
+	}
+	if !c.cfg.SharedExec {
+		// MMT-F: "always splitting into different instructions in the
+		// decode stage" (§5).
+		return c.splitIntoSingletons(u)
+	}
+	if u.inst.Op == isa.OpTid {
+		// Thread-identity reads are inherently per-thread: identical
+		// mappings do not imply identical results.
+		return c.splitIntoSingletons(u)
+	}
+
+	c.stats.SplitOps++
+	srcs, n := u.inst.Sources()
+	classes, rmAssist := c.rst.Partition(u.fetchITID, srcs[:n])
+	if c.cfg.ValidateSplits {
+		c.validateSplit(u, srcs[:n], classes)
+	}
+
+	// Loads from private (per-process) memory: identical mappings mean
+	// identical addresses in *different* address spaces; consult the
+	// LVIP (Table 2: Load/ME/X-id → check LVIP). Mailbox-window loads in
+	// MP mode behave like MT shared loads.
+	if u.isLoad {
+		var expanded []ITID
+		var expandedRM []bool
+		for i, cl := range classes {
+			if cl.Count() >= 2 && c.memPrivate(u.effs[cl.First()].Addr) {
+				split := false
+				switch c.cfg.LVIP {
+				case LVIPOff:
+					split = true
+				case LVIPOracle:
+					// The upper bound: merge exactly the classes whose
+					// values actually match; never roll back.
+					first := u.effs[cl.First()].LoadVal
+					for _, t := range cl.Threads() {
+						if u.effs[t].LoadVal != first {
+							split = true
+							break
+						}
+					}
+				default: // LVIPPredict, the paper's design
+					c.stats.LVIPLookups++
+					split = !c.lvip.PredictIdentical(u.pc)
+				}
+				if split {
+					for _, t := range cl.Threads() {
+						expanded = append(expanded, ITIDOf(t))
+						expandedRM = append(expandedRM, false)
+					}
+					continue
+				}
+			}
+			expanded = append(expanded, cl)
+			expandedRM = append(expandedRM, rmAssist[i])
+		}
+		classes, rmAssist = expanded, expandedRM
+	}
+
+	stalled := u.stalledGroups
+	u.stalledGroups = nil
+	out := make([]*uop, 0, len(classes))
+	for i, cl := range classes {
+		var p *uop
+		if i == 0 {
+			p = u
+		} else {
+			cp := *u
+			cp.splitOff = true
+			p = &cp
+		}
+		p.itid = cl
+		p.regMergeAssisted = cl.Count() >= 2 && rmAssist[i]
+		private := u.isMem() && c.memPrivate(u.effs[cl.First()].Addr)
+		// Verification (and rollback exposure) only exists under the
+		// real predictor; the oracle mode merges exactly-correct classes.
+		p.lvipPredIdent = u.isLoad && private && cl.Count() >= 2 && c.cfg.LVIP == LVIPPredict
+		p.memPerThread = private && cl.Count() >= 2
+		// Shared-memory merged loads perform one access; the assumption
+		// that the value is identical for all threads ("if executed
+		// without an intervening write", §3.1) is verified at completion
+		// and rolled back on the rare race.
+		p.sharedVerify = u.isLoad && !private && cl.Count() >= 2
+		p.lsqSlots = c.lsqSlotsFor(p, cl)
+		out = append(out, p)
+	}
+	distributeStalledGroups(stalled, out)
+	return out
+}
+
+// distributeStalledGroups reattaches fetch groups waiting on a control uop
+// to the split piece that executes for the group's threads, so each group
+// resumes when *its* branch instance resolves (and a rollback squashing
+// one piece cannot strand an unrelated group).
+func distributeStalledGroups(stalled []*group, pieces []*uop) {
+	for _, g := range stalled {
+		attached := false
+		for _, p := range pieces {
+			if p.itid&g.members != 0 {
+				p.stalledGroups = append(p.stalledGroups, g)
+				g.waitBranch = p
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			pieces[0].stalledGroups = append(pieces[0].stalledGroups, g)
+			g.waitBranch = pieces[0]
+		}
+	}
+}
+
+// splitIntoSingletons breaks a fetch-identical uop into one uop per
+// member thread.
+func (c *Core) splitIntoSingletons(u *uop) []*uop {
+	threads := u.fetchITID.Threads()
+	stalled := u.stalledGroups
+	u.stalledGroups = nil
+	out := make([]*uop, 0, len(threads))
+	for i, t := range threads {
+		var p *uop
+		if i == 0 {
+			p = u
+		} else {
+			cp := *u
+			cp.splitOff = true
+			p = &cp
+		}
+		p.itid = ITIDOf(t)
+		p.memPerThread = false
+		p.lsqSlots = c.lsqSlotsFor(p, p.itid)
+		out = append(out, p)
+	}
+	distributeStalledGroups(stalled, out)
+	return out
+}
+
+// lsqSlotsFor returns LSQ occupancy. A merged multi-execution memory op
+// occupies a single queue entry whose accesses are expanded and performed
+// serially at access time (paper §4.2.5 — Table 3 adds no LSQ storage, so
+// the expansion is a sequencer, not extra entries).
+func (c *Core) lsqSlotsFor(u *uop, itid ITID) int {
+	if !u.isMem() {
+		return 0
+	}
+	return 1
+}
+
+// rename allocates the uop's dependences and destination mapping and
+// dispatches it into the window.
+func (c *Core) rename(u *uop, now uint64) {
+	c.seq++
+	u.seq = c.seq // rename order = age order; the window is seq-sorted
+	c.stats.RenamedUops++
+
+	// Source dependences: the union of last writers over member threads.
+	// For a merged uop the mappings are identical, so the union is a
+	// single producer; the union form stays correct across partial
+	// squashes.
+	srcs, n := u.inst.Sources()
+	u.ndeps = 0
+	seen := map[*uop]bool{}
+	for i := 0; i < n; i++ {
+		s := srcs[i]
+		if s == isa.RegZero {
+			continue
+		}
+		c.stats.RegReads++
+		for _, t := range u.itid.Threads() {
+			if w := c.lastWriter[t][s]; w != nil && !seen[w] {
+				seen[w] = true
+				if w.state != uopDone && w.state != uopSquashed {
+					u.ndeps++
+					w.consumers = append(w.consumers, u)
+				}
+			}
+		}
+	}
+
+	// Memory ordering: a load depends on the youngest older store to the
+	// same address in each of its threads (perfect store-to-load
+	// disambiguation; addresses come from the oracle).
+	if u.isLoad {
+		for _, t := range u.itid.Threads() {
+			if w := c.youngestStore(t, u.effs[t].Addr, u.seq); w != nil && !seen[w] {
+				seen[w] = true
+				if w.state != uopDone && w.state != uopSquashed {
+					u.ndeps++
+					w.consumers = append(w.consumers, u)
+				}
+			}
+		}
+	}
+
+	// Destination mapping (RST update, §4.2.3/4.2.4).
+	if dest, ok := u.inst.Dest(); ok {
+		c.stats.RegWrites++
+		for _, t := range u.itid.Threads() {
+			u.destUndo[t] = destUndo{
+				oldVer:     c.rst.version[t][dest],
+				oldByMerge: c.rst.byMerge[t][dest],
+				valid:      true,
+			}
+		}
+		if c.cfg.SharedExec {
+			if u.itid.Count() >= 2 {
+				c.rst.WriteMerged(u.itid, dest)
+			} else {
+				c.rst.WriteSplit(u.itid.First(), dest)
+			}
+			c.stats.RSTUpdates++
+		} else {
+			for _, t := range u.itid.Threads() {
+				c.rst.WriteSplit(t, dest)
+			}
+		}
+		for _, t := range u.itid.Threads() {
+			u.destVer[t] = c.rst.version[t][dest]
+			c.activeWriters[t][dest]++
+			c.lastWriter[t][dest] = u
+		}
+	}
+
+	// Dispatch.
+	u.state = uopWaiting
+	if u.ndeps == 0 {
+		u.state = uopReady
+	}
+	c.window = append(c.window, u)
+	c.robOcc++
+	c.iqOcc++
+	if u.isMem() {
+		c.lsqOcc += u.lsqSlots
+		c.memQ = append(c.memQ, u)
+	}
+	for _, t := range u.itid.Threads() {
+		c.robQ[t] = append(c.robQ[t], u)
+	}
+}
+
+// youngestStore finds the youngest store older than seq writing addr in
+// thread t.
+func (c *Core) youngestStore(t int, addr uint64, seq uint64) *uop {
+	for i := len(c.memQ) - 1; i >= 0; i-- {
+		s := c.memQ[i]
+		if !s.isStore || s.seq >= seq || s.state == uopSquashed || !s.itid.Has(t) {
+			continue
+		}
+		if s.effs[t].Addr == addr {
+			return s
+		}
+	}
+	return nil
+}
+
+// validateSplit cross-checks one split decision against the structural
+// §4.2.2 network (ValidateSplits debug mode).
+func (c *Core) validateSplit(u *uop, srcs []uint8, classes []ITID) {
+	if c.splitNet == nil {
+		c.splitNet = NewSplitNetwork(c.cfg.Threads)
+	}
+	pair := func(i, j int) bool {
+		for _, s := range srcs {
+			if s != isa.RegZero && !c.rst.Shared(i, j, s) {
+				return false
+			}
+		}
+		return true
+	}
+	hw := c.splitNet.Evaluate(pair, u.fetchITID)
+	if len(hw) != len(classes) {
+		panic(fmt.Sprintf("core: split network disagrees at pc %#x: hardware %v vs partition %v", u.pc, hw, classes))
+	}
+	want := make(map[ITID]bool, len(classes))
+	for _, cl := range classes {
+		want[cl] = true
+	}
+	for _, e := range hw {
+		if !want[e] {
+			panic(fmt.Sprintf("core: split network disagrees at pc %#x: hardware %v vs partition %v", u.pc, hw, classes))
+		}
+	}
+}

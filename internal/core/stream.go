@@ -1,0 +1,106 @@
+package core
+
+import (
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+// dynRec is one committed-path dynamic instruction of one thread, produced
+// by the functional oracle (prog.Context.Step) and consumed by the timing
+// model. Records are buffered so that squashes (branch-like rollbacks such
+// as LVIP mispredicts) can re-fetch without re-executing.
+type dynRec struct {
+	idx  uint64 // position in the thread's dynamic instruction order
+	pc   uint64
+	inst isa.Inst
+	eff  isa.Effect
+}
+
+// stream adapts one context's oracle into a rewindable record stream.
+type stream struct {
+	ctx    *prog.Context
+	buf    []dynRec
+	base   uint64 // dynamic index of buf[0]
+	cursor uint64 // next index fetch will consume
+	// maxInsts caps the records produced (0 = unbounded); the thread
+	// then behaves as if it halted at the cap.
+	maxInsts uint64
+	err      error
+}
+
+func newStream(ctx *prog.Context, maxInsts uint64) *stream {
+	return &stream{ctx: ctx, maxInsts: maxInsts}
+}
+
+// peek returns the record at the cursor, producing it from the oracle if
+// necessary. ok is false when the thread has halted (no more records) or
+// the oracle errored (check s.err).
+func (s *stream) peek() (*dynRec, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	if s.maxInsts > 0 && s.cursor >= s.maxInsts {
+		return nil, false
+	}
+	for s.cursor >= s.base+uint64(len(s.buf)) {
+		if s.ctx.Halted() {
+			return nil, false
+		}
+		pc := s.ctx.State.PC
+		inst, eff, err := s.ctx.Step()
+		if err != nil {
+			s.err = err
+			return nil, false
+		}
+		s.buf = append(s.buf, dynRec{
+			idx: s.base + uint64(len(s.buf)), pc: pc, inst: inst, eff: eff,
+		})
+	}
+	return &s.buf[s.cursor-s.base], true
+}
+
+// advance moves the cursor past the current record.
+func (s *stream) advance() { s.cursor++ }
+
+// rewindTo moves the cursor back to dynamic index idx (squash/replay).
+// idx must not precede already-released records.
+func (s *stream) rewindTo(idx uint64) {
+	if idx < s.base {
+		panic("core: stream rewind below released window")
+	}
+	if idx > s.cursor {
+		panic("core: stream rewind forward")
+	}
+	s.cursor = idx
+}
+
+// release drops buffered records with index < idx (they have committed and
+// can never be replayed).
+func (s *stream) release(idx uint64) {
+	if idx <= s.base {
+		return
+	}
+	if idx > s.cursor {
+		panic("core: releasing unfetched records")
+	}
+	drop := idx - s.base
+	s.buf = s.buf[drop:]
+	s.base = idx
+}
+
+// exhausted reports whether the thread has halted and every record has
+// been consumed by fetch.
+func (s *stream) exhausted() bool {
+	_, ok := s.peek()
+	return !ok && s.err == nil
+}
+
+// nextPC returns the PC of the record at the cursor (what the thread's
+// fetch PC "is" right now); ok=false when halted.
+func (s *stream) nextPC() (uint64, bool) {
+	r, ok := s.peek()
+	if !ok {
+		return 0, false
+	}
+	return r.pc, true
+}

@@ -1,0 +1,74 @@
+package isa
+
+import "fmt"
+
+// Binary encoding (64 bits):
+//
+//	bits  0–7   opcode
+//	bits  8–12  rd
+//	bits 13–17  rs1
+//	bits 18–22  rs2
+//	bits 23–27  reserved (must be zero)
+//	bits 28–63  imm, two's-complement 36-bit
+//
+// The 36-bit immediate covers all byte addresses the loader produces and
+// every constant the assembler accepts; larger constants are composed with
+// lui/ori by the assembler.
+
+const (
+	immBits = 36
+	immMax  = int64(1)<<(immBits-1) - 1
+	immMin  = -int64(1) << (immBits - 1)
+)
+
+// Encode packs i into its 64-bit binary representation. It returns an error
+// when a field is out of range (register ≥ 32 or immediate outside the
+// signed 36-bit range).
+func (i Inst) Encode() (uint64, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", uint8(i.Op))
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	if i.Imm > immMax || i.Imm < immMin {
+		return 0, fmt.Errorf("isa: encode %s: immediate %d outside signed %d-bit range", i.Op, i.Imm, immBits)
+	}
+	w := uint64(i.Op) |
+		uint64(i.Rd)<<8 |
+		uint64(i.Rs1)<<13 |
+		uint64(i.Rs2)<<18 |
+		uint64(i.Imm&(1<<immBits-1))<<28
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for use with known-good
+// constants in tests and generators.
+func (i Inst) MustEncode() uint64 {
+	w, err := i.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 64-bit word produced by Encode.
+func Decode(w uint64) (Inst, error) {
+	op := Op(w & 0xff)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", uint8(op))
+	}
+	if w>>23&0x1f != 0 {
+		return Inst{}, fmt.Errorf("isa: decode %s: reserved bits set", op)
+	}
+	imm := int64(w >> 28)
+	// Sign-extend the 36-bit immediate.
+	imm = imm << (64 - immBits) >> (64 - immBits)
+	return Inst{
+		Op:  op,
+		Rd:  uint8(w >> 8 & 0x1f),
+		Rs1: uint8(w >> 13 & 0x1f),
+		Rs2: uint8(w >> 18 & 0x1f),
+		Imm: imm,
+	}, nil
+}

@@ -1,0 +1,322 @@
+// Package isa defines the instruction set architecture of the simulated
+// machine: a small 64-bit load/store RISC with 32 general-purpose registers
+// that hold either integer or IEEE-754 double-precision values.
+//
+// The ISA is deliberately minimal — it exists so that the MMT core
+// (internal/core) has real instruction streams to fetch, split, rename,
+// execute and commit. Semantics are defined by Exec, which the simulator
+// uses as its functional oracle.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architected general-purpose registers.
+const NumRegs = 32
+
+// Conventional register assignments used by the assembler and workloads.
+const (
+	RegZero = 0 // hard-wired zero
+	RegRA   = 1 // return address
+	RegSP   = 2 // stack pointer
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; decoding it is an error.
+	OpInvalid Op = iota
+
+	// Integer register-register ALU.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // rd = imm << 32 (load upper immediate)
+
+	// Floating point (operands are registers holding float64 bits).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFneg
+	OpFabs
+	OpFmin
+	OpFmax
+	OpFcvt  // int -> float64
+	OpFcvti // float64 -> int (truncating)
+	OpFlt   // rd = (f(rs1) < f(rs2)) ? 1 : 0
+	OpFle
+	OpFeq
+
+	// Memory (64-bit words; addresses are byte addresses).
+	OpLd // rd = mem[rs1+imm]
+	OpSt // mem[rs1+imm] = rs2
+
+	// Control flow. Branch/jump targets are absolute instruction
+	// addresses carried in Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal  // rd = pc+4; pc = imm
+	OpJalr // rd = pc+4; pc = rs1+imm
+
+	// Special.
+	OpNop
+	OpHalt
+	OpTid // rd = hardware context id (differs per thread by construction)
+
+	opMax // sentinel; keep last
+)
+
+// NumOps is the number of valid opcodes (excluding OpInvalid).
+const NumOps = int(opMax) - 1
+
+// Class groups opcodes by the functional unit and pipeline treatment they
+// require.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPALU
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+)
+
+var classNames = [...]string{
+	ClassNop:    "nop",
+	ClassIntALU: "int-alu",
+	ClassIntMul: "int-mul",
+	ClassIntDiv: "int-div",
+	ClassFPALU:  "fp-alu",
+	ClassFPMul:  "fp-mul",
+	ClassFPDiv:  "fp-div",
+	ClassLoad:   "load",
+	ClassStore:  "store",
+	ClassBranch: "branch",
+	ClassJump:   "jump",
+	ClassHalt:   "halt",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+type opInfo struct {
+	name     string
+	class    Class
+	hasRd    bool
+	hasRs1   bool
+	hasRs2   bool
+	hasImm   bool
+	isBranch bool // conditional branch
+}
+
+var opTable = [opMax]opInfo{
+	OpAdd:  {"add", ClassIntALU, true, true, true, false, false},
+	OpSub:  {"sub", ClassIntALU, true, true, true, false, false},
+	OpMul:  {"mul", ClassIntMul, true, true, true, false, false},
+	OpDiv:  {"div", ClassIntDiv, true, true, true, false, false},
+	OpRem:  {"rem", ClassIntDiv, true, true, true, false, false},
+	OpAnd:  {"and", ClassIntALU, true, true, true, false, false},
+	OpOr:   {"or", ClassIntALU, true, true, true, false, false},
+	OpXor:  {"xor", ClassIntALU, true, true, true, false, false},
+	OpSll:  {"sll", ClassIntALU, true, true, true, false, false},
+	OpSrl:  {"srl", ClassIntALU, true, true, true, false, false},
+	OpSra:  {"sra", ClassIntALU, true, true, true, false, false},
+	OpSlt:  {"slt", ClassIntALU, true, true, true, false, false},
+	OpSltu: {"sltu", ClassIntALU, true, true, true, false, false},
+
+	OpAddi: {"addi", ClassIntALU, true, true, false, true, false},
+	OpAndi: {"andi", ClassIntALU, true, true, false, true, false},
+	OpOri:  {"ori", ClassIntALU, true, true, false, true, false},
+	OpXori: {"xori", ClassIntALU, true, true, false, true, false},
+	OpSlli: {"slli", ClassIntALU, true, true, false, true, false},
+	OpSrli: {"srli", ClassIntALU, true, true, false, true, false},
+	OpSrai: {"srai", ClassIntALU, true, true, false, true, false},
+	OpSlti: {"slti", ClassIntALU, true, true, false, true, false},
+	OpLui:  {"lui", ClassIntALU, true, false, false, true, false},
+
+	OpFadd:  {"fadd", ClassFPALU, true, true, true, false, false},
+	OpFsub:  {"fsub", ClassFPALU, true, true, true, false, false},
+	OpFmul:  {"fmul", ClassFPMul, true, true, true, false, false},
+	OpFdiv:  {"fdiv", ClassFPDiv, true, true, true, false, false},
+	OpFsqrt: {"fsqrt", ClassFPDiv, true, true, false, false, false},
+	OpFneg:  {"fneg", ClassFPALU, true, true, false, false, false},
+	OpFabs:  {"fabs", ClassFPALU, true, true, false, false, false},
+	OpFmin:  {"fmin", ClassFPALU, true, true, true, false, false},
+	OpFmax:  {"fmax", ClassFPALU, true, true, true, false, false},
+	OpFcvt:  {"fcvt", ClassFPALU, true, true, false, false, false},
+	OpFcvti: {"fcvti", ClassFPALU, true, true, false, false, false},
+	OpFlt:   {"flt", ClassFPALU, true, true, true, false, false},
+	OpFle:   {"fle", ClassFPALU, true, true, true, false, false},
+	OpFeq:   {"feq", ClassFPALU, true, true, true, false, false},
+
+	OpLd: {"ld", ClassLoad, true, true, false, true, false},
+	OpSt: {"st", ClassStore, false, true, true, true, false},
+
+	OpBeq:  {"beq", ClassBranch, false, true, true, true, true},
+	OpBne:  {"bne", ClassBranch, false, true, true, true, true},
+	OpBlt:  {"blt", ClassBranch, false, true, true, true, true},
+	OpBge:  {"bge", ClassBranch, false, true, true, true, true},
+	OpBltu: {"bltu", ClassBranch, false, true, true, true, true},
+	OpBgeu: {"bgeu", ClassBranch, false, true, true, true, true},
+	OpJal:  {"jal", ClassJump, true, false, false, true, false},
+	OpJalr: {"jalr", ClassJump, true, true, false, true, false},
+
+	OpNop:  {"nop", ClassNop, false, false, false, false, false},
+	OpHalt: {"halt", ClassHalt, false, false, false, false, false},
+	OpTid:  {"tid", ClassIntALU, true, false, false, false, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op.Valid() {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class returns the functional class of op.
+func (op Op) Class() Class {
+	if op.Valid() {
+		return opTable[op].class
+	}
+	return ClassNop
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Valid() && opTable[op].isBranch }
+
+// IsControl reports whether op can redirect the PC (branch or jump).
+func (op Op) IsControl() bool {
+	c := op.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// HasDest reports whether op writes a destination register.
+func (op Op) HasDest() bool { return op.Valid() && opTable[op].hasRd }
+
+// OpByName returns the opcode with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := OpInvalid + 1; op < opMax; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// InstBytes is the architectural size of one instruction in memory.
+// Instruction addresses advance by InstBytes.
+const InstBytes = 4
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8 // destination register, if Op.HasDest()
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64 // immediate operand or absolute branch/jump target
+}
+
+// Nop returns a no-op instruction.
+func Nop() Inst { return Inst{Op: OpNop} }
+
+// Sources returns the architected source registers read by i.
+// The second return value is the number of valid entries (0–2).
+func (i Inst) Sources() ([2]uint8, int) {
+	var srcs [2]uint8
+	n := 0
+	info := opTable[i.Op]
+	if info.hasRs1 {
+		srcs[n] = i.Rs1
+		n++
+	}
+	if info.hasRs2 {
+		srcs[n] = i.Rs2
+		n++
+	}
+	return srcs, n
+}
+
+// Dest returns the destination register and whether one exists. Writes to
+// register zero are architecturally discarded and reported as no dest.
+func (i Inst) Dest() (uint8, bool) {
+	if opTable[i.Op].hasRd && i.Rd != RegZero {
+		return i.Rd, true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	info := opTable[i.Op]
+	switch {
+	case i.Op == OpNop || i.Op == OpHalt:
+		return info.name
+	case i.Op == OpTid:
+		return fmt.Sprintf("%s r%d", info.name, i.Rd)
+	case i.Op == OpLui:
+		return fmt.Sprintf("%s r%d, %d", info.name, i.Rd, i.Imm)
+	case i.Op == OpLd:
+		return fmt.Sprintf("%s r%d, %d(r%d)", info.name, i.Rd, i.Imm, i.Rs1)
+	case i.Op == OpSt:
+		return fmt.Sprintf("%s r%d, %d(r%d)", info.name, i.Rs2, i.Imm, i.Rs1)
+	case info.isBranch:
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", info.name, i.Rs1, i.Rs2, i.Imm)
+	case i.Op == OpJal:
+		return fmt.Sprintf("%s r%d, 0x%x", info.name, i.Rd, i.Imm)
+	case i.Op == OpJalr:
+		return fmt.Sprintf("%s r%d, %d(r%d)", info.name, i.Rd, i.Imm, i.Rs1)
+	case info.hasRs2:
+		return fmt.Sprintf("%s r%d, r%d, r%d", info.name, i.Rd, i.Rs1, i.Rs2)
+	case info.hasImm:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, i.Rd, i.Rs1, i.Imm)
+	case info.hasRs1:
+		return fmt.Sprintf("%s r%d, r%d", info.name, i.Rd, i.Rs1)
+	default:
+		return info.name
+	}
+}

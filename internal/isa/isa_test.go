@@ -1,0 +1,233 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < opMax; op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", name)
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", name, got, op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName accepted an unknown mnemonic")
+	}
+}
+
+func TestInvalidOpProperties(t *testing.T) {
+	bad := []Op{OpInvalid, opMax, Op(200)}
+	for _, op := range bad {
+		if op.Valid() {
+			t.Errorf("op %d reported valid", uint8(op))
+		}
+		if op.IsBranch() {
+			t.Errorf("op %d reported branch", uint8(op))
+		}
+		if op.HasDest() {
+			t.Errorf("op %d reported dest", uint8(op))
+		}
+		if !strings.Contains(op.String(), "op(") && op != OpInvalid {
+			t.Errorf("op %d String = %q", uint8(op), op.String())
+		}
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpAdd, ClassIntALU},
+		{OpMul, ClassIntMul},
+		{OpDiv, ClassIntDiv},
+		{OpRem, ClassIntDiv},
+		{OpFadd, ClassFPALU},
+		{OpFmul, ClassFPMul},
+		{OpFdiv, ClassFPDiv},
+		{OpFsqrt, ClassFPDiv},
+		{OpLd, ClassLoad},
+		{OpSt, ClassStore},
+		{OpBeq, ClassBranch},
+		{OpJal, ClassJump},
+		{OpJalr, ClassJump},
+		{OpNop, ClassNop},
+		{OpHalt, ClassHalt},
+		{OpTid, ClassIntALU},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for op := OpInvalid + 1; op < opMax; op++ {
+		want := op.Class() == ClassBranch || op.Class() == ClassJump
+		if got := op.IsControl(); got != want {
+			t.Errorf("%v.IsControl() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	i := Inst{Op: OpAdd, Rd: 3, Rs1: 4, Rs2: 5}
+	srcs, n := i.Sources()
+	if n != 2 || srcs[0] != 4 || srcs[1] != 5 {
+		t.Errorf("add sources = %v/%d", srcs, n)
+	}
+	if d, ok := i.Dest(); !ok || d != 3 {
+		t.Errorf("add dest = %d/%v", d, ok)
+	}
+
+	i = Inst{Op: OpAddi, Rd: 3, Rs1: 4, Imm: 7}
+	srcs, n = i.Sources()
+	if n != 1 || srcs[0] != 4 {
+		t.Errorf("addi sources = %v/%d", srcs, n)
+	}
+
+	i = Inst{Op: OpSt, Rs1: 4, Rs2: 5, Imm: 8}
+	srcs, n = i.Sources()
+	if n != 2 {
+		t.Errorf("st sources = %v/%d", srcs, n)
+	}
+	if _, ok := i.Dest(); ok {
+		t.Error("store reported a dest register")
+	}
+
+	// Writes to r0 are discarded.
+	i = Inst{Op: OpAdd, Rd: RegZero, Rs1: 1, Rs2: 2}
+	if _, ok := i.Dest(); ok {
+		t.Error("write to r0 reported as dest")
+	}
+
+	i = Inst{Op: OpJal, Rd: RegRA, Imm: 0x100}
+	if _, n = i.Sources(); n != 0 {
+		t.Errorf("jal sources n = %d", n)
+	}
+	if d, ok := i.Dest(); !ok || d != RegRA {
+		t.Errorf("jal dest = %d/%v", d, ok)
+	}
+}
+
+// randInst produces a uniformly random valid instruction.
+func randInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:  Op(1 + r.Intn(NumOps)),
+		Rd:  uint8(r.Intn(NumRegs)),
+		Rs1: uint8(r.Intn(NumRegs)),
+		Rs2: uint8(r.Intn(NumRegs)),
+		Imm: r.Int63n(immMax) - r.Int63n(immMax),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		i := randInst(r)
+		w, err := i.Encode()
+		if err != nil {
+			t.Logf("encode %+v: %v", i, err)
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x: %v", w, err)
+			return false
+		}
+		return got == i
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: opMax},
+		{Op: OpAdd, Rd: 32},
+		{Op: OpAdd, Rs1: 40},
+		{Op: OpAdd, Rs2: 33},
+		{Op: OpAddi, Imm: immMax + 1},
+		{Op: OpAddi, Imm: immMin - 1},
+	}
+	for _, c := range cases {
+		if _, err := c.Encode(); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) succeeded")
+	}
+	if _, err := Decode(uint64(opMax)); err == nil {
+		t.Error("Decode(opMax) succeeded")
+	}
+	// Reserved bits set.
+	w := Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}.MustEncode() | 1<<23
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode with reserved bits succeeded")
+	}
+}
+
+func TestImmediateSignExtension(t *testing.T) {
+	for _, imm := range []int64{-1, -1024, immMin, immMax, 0, 1} {
+		i := Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: imm}
+		got, err := Decode(i.MustEncode())
+		if err != nil {
+			t.Fatalf("decode imm %d: %v", imm, err)
+		}
+		if got.Imm != imm {
+			t.Errorf("imm %d round-tripped to %d", imm, got.Imm)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode on invalid inst did not panic")
+		}
+	}()
+	Inst{Op: OpInvalid}.MustEncode()
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		i    Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpTid, Rd: 9}, "tid r9"},
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Inst{Op: OpLd, Rd: 5, Rs1: 2, Imm: 16}, "ld r5, 16(r2)"},
+		{Inst{Op: OpSt, Rs2: 5, Rs1: 2, Imm: 16}, "st r5, 16(r2)"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 0x40}, "beq r1, r2, 0x40"},
+		{Inst{Op: OpJal, Rd: 1, Imm: 0x80}, "jal r1, 0x80"},
+		{Inst{Op: OpJalr, Rd: 0, Rs1: 1, Imm: 0}, "jalr r0, 0(r1)"},
+		{Inst{Op: OpLui, Rd: 7, Imm: 123}, "lui r7, 123"},
+		{Inst{Op: OpFneg, Rd: 4, Rs1: 6}, "fneg r4, r6"},
+	}
+	for _, c := range cases {
+		if got := c.i.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package power
+
+import (
+	"testing"
+
+	"mmt/internal/cache"
+	"mmt/internal/core"
+)
+
+func sampleStats() (*core.Stats, cache.Events) {
+	st := &core.Stats{
+		Cycles:        1000,
+		FetchUops:     4000,
+		RenamedUops:   4000,
+		FUOps:         4000,
+		RegReads:      6000,
+		RegWrites:     3500,
+		CommittedUops: 4000,
+		BranchUops:    800,
+		RSTUpdates:    4000,
+		FHBInserts:    50,
+		FHBSearches:   50,
+		LVIPLookups:   100,
+		SplitOps:      900,
+	}
+	st.Committed[0] = 4000
+	ev := cache.Events{
+		L1IAccesses: 1200, L1DAccesses: 900, L2Accesses: 40, DRAMAccesses: 5,
+	}
+	return st, ev
+}
+
+func TestEnergyBreakdownPositive(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	b := m.Energy(st, ev)
+	if b.Cache <= 0 || b.Overhead <= 0 || b.Other <= 0 {
+		t.Errorf("breakdown %+v has non-positive component", b)
+	}
+	if b.Total() != b.Cache+b.Overhead+b.Other {
+		t.Error("total mismatch")
+	}
+}
+
+func TestOverheadIsSmallFraction(t *testing.T) {
+	// The paper reports MMT overhead below 2% of total power; the model's
+	// constants must reproduce that property on representative counts.
+	m := NewModel()
+	st, ev := sampleStats()
+	b := m.Energy(st, ev)
+	if frac := b.Overhead / b.Total(); frac > 0.02 {
+		t.Errorf("overhead fraction = %.4f, want < 0.02", frac)
+	}
+}
+
+func TestEnergyPerJob(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	epj := m.EnergyPerJob(st, ev)
+	if epj <= 0 {
+		t.Errorf("energy per job = %f", epj)
+	}
+	// Doubling the work at equal energy halves energy/job.
+	st2, _ := sampleStats()
+	st2.Committed[0] *= 2
+	if got := m.EnergyPerJob(st2, ev); got >= epj {
+		t.Errorf("more work did not lower energy/job: %f vs %f", got, epj)
+	}
+	var empty core.Stats
+	if m.EnergyPerJob(&empty, cache.Events{}) != 0 {
+		t.Error("zero-work energy/job not zero")
+	}
+}
+
+func TestFewerEventsLessEnergy(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	full := m.Energy(st, ev).Total()
+	ev.L1IAccesses /= 2 // shared fetch halves I-cache traffic
+	st.FUOps /= 2       // shared execution halves FU work
+	reduced := m.Energy(st, ev).Total()
+	if reduced >= full {
+		t.Errorf("reduced events did not reduce energy: %f vs %f", reduced, full)
+	}
+}
+
+func TestDetailedSumsToBreakdown(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	d := m.Detailed(st, ev)
+	b := m.Energy(st, ev)
+
+	sum := func(keys []string) float64 {
+		var s float64
+		for _, k := range keys {
+			s += d[k]
+		}
+		return s
+	}
+	if got := sum(cacheKeys); !close2(got, b.Cache) {
+		t.Errorf("cache detail %f vs breakdown %f", got, b.Cache)
+	}
+	if got := sum(overheadKeys); !close2(got, b.Overhead) {
+		t.Errorf("overhead detail %f vs breakdown %f", got, b.Overhead)
+	}
+	var total float64
+	for _, v := range d {
+		total += v
+	}
+	if !close2(total, b.Total()) {
+		t.Errorf("detail total %f vs breakdown total %f", total, b.Total())
+	}
+	// Every structure appears.
+	for _, k := range []string{"fetch", "fu", "static", "predictor", "rename"} {
+		if _, ok := d[k]; !ok {
+			t.Errorf("missing structure %q", k)
+		}
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+b)
+}

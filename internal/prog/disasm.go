@@ -1,0 +1,75 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mmt/internal/isa"
+)
+
+// Disassemble renders the program's text segment with addresses, label
+// annotations from the symbol table, and symbolic branch targets.
+func Disassemble(p *Program) string {
+	// Invert the symbol table for label lookup.
+	labels := make(map[uint64][]string)
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
+	}
+	symFor := func(addr uint64) string {
+		if names, ok := labels[addr]; ok {
+			return names[0]
+		}
+		return ""
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s: %d instructions at %#x, entry %#x\n", p.Name, len(p.Insts), p.Base, p.Entry)
+	for i, in := range p.Insts {
+		pc := p.Base + uint64(i)*isa.InstBytes
+		for _, name := range labels[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		text := in.String()
+		// Rewrite absolute control-flow targets symbolically.
+		if in.Op.IsControl() && in.Op != isa.OpJalr {
+			if s := symFor(uint64(in.Imm)); s != "" {
+				if idx := strings.LastIndex(text, "0x"); idx >= 0 {
+					text = text[:idx] + s
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  %#06x  %s\n", pc, text)
+	}
+	return b.String()
+}
+
+// DisassembleRange renders instructions around pc (for diagnostics): n
+// instructions before and after.
+func DisassembleRange(p *Program, pc uint64, n int) string {
+	if len(p.Insts) == 0 {
+		return ""
+	}
+	idx := int64(pc-p.Base) / isa.InstBytes
+	lo := idx - int64(n)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := idx + int64(n) + 1
+	if hi > int64(len(p.Insts)) {
+		hi = int64(len(p.Insts))
+	}
+	var b strings.Builder
+	for i := lo; i < hi; i++ {
+		at := p.Base + uint64(i)*isa.InstBytes
+		marker := "  "
+		if at == pc {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s %#06x  %s\n", marker, at, p.Insts[i])
+	}
+	return b.String()
+}

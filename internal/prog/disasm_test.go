@@ -1,0 +1,63 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"mmt/internal/isa"
+)
+
+func TestDisassemble(t *testing.T) {
+	p := testProgram()
+	out := Disassemble(p)
+	if !strings.Contains(out, "loop:") {
+		t.Errorf("missing label:\n%s", out)
+	}
+	// The branch target is rewritten symbolically.
+	if !strings.Contains(out, "bne r5, r0, loop") {
+		t.Errorf("branch target not symbolic:\n%s", out)
+	}
+	if !strings.Contains(out, "halt") || !strings.Contains(out, "0x001000") {
+		t.Errorf("body incomplete:\n%s", out)
+	}
+	// Header mentions the program name and entry.
+	if !strings.Contains(out, "test: 4 instructions") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestDisassembleUnlabeledTarget(t *testing.T) {
+	p := &Program{
+		Name: "x", Base: CodeBase, Entry: CodeBase,
+		Insts: []isa.Inst{
+			{Op: isa.OpJal, Rd: 0, Imm: 0x9999}, // target outside symbols
+			{Op: isa.OpHalt},
+		},
+		Data:    NewMemory(),
+		Symbols: map[string]uint64{},
+	}
+	out := Disassemble(p)
+	if !strings.Contains(out, "0x9999") {
+		t.Errorf("unlabeled target lost:\n%s", out)
+	}
+}
+
+func TestDisassembleRange(t *testing.T) {
+	p := testProgram()
+	out := DisassembleRange(p, CodeBase+8, 1)
+	if !strings.Contains(out, "=>") {
+		t.Errorf("no marker:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 3 {
+		t.Errorf("window lines = %d:\n%s", lines, out)
+	}
+	// Clamping at the edges.
+	out = DisassembleRange(p, CodeBase, 10)
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("clamped window wrong:\n%s", out)
+	}
+	if DisassembleRange(&Program{Data: NewMemory()}, 0, 3) != "" {
+		t.Error("empty program disassembly nonempty")
+	}
+}

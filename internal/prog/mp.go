@@ -1,0 +1,68 @@
+package prog
+
+import "fmt"
+
+// Message-passing support (the paper's third SPMD class, §3.1, left as
+// future work in §7): ranks run in private address spaces like
+// multi-execution instances, but a fixed window of the address space is
+// shared — an MPI-style shared-memory transport. Stores to the window are
+// visible to every rank; everything else stays private.
+
+// Window is the shared mailbox region of a message-passing system.
+const (
+	// MboxBase is the first byte of the shared window.
+	MboxBase uint64 = 0x0040_0000
+	// MboxSize is the window's extent.
+	MboxSize uint64 = 0x0004_0000
+)
+
+// InMbox reports whether addr falls inside the shared window.
+func InMbox(addr uint64) bool {
+	return addr >= MboxBase && addr < MboxBase+MboxSize
+}
+
+// mpMemory routes window accesses to the shared image and everything else
+// to the rank's private image.
+type mpMemory struct {
+	priv   *Memory
+	shared *Memory
+}
+
+func (m *mpMemory) Read64(addr uint64) uint64 {
+	if InMbox(addr) {
+		return m.shared.Read64(addr)
+	}
+	return m.priv.Read64(addr)
+}
+
+func (m *mpMemory) Write64(addr uint64, val uint64) {
+	if InMbox(addr) {
+		m.shared.Write64(addr, val)
+		return
+	}
+	m.priv.Write64(addr, val)
+}
+
+// NewMPSystem builds n message-passing ranks of p: private cloned images
+// (inputs seeded per rank by init) plus one shared mailbox window.
+// Ranks identify themselves with tid, like MT threads.
+func NewMPSystem(p *Program, n int, init InitFunc) (*System, error) {
+	if n < 1 || n > 4 {
+		return nil, fmt.Errorf("prog: rank count %d outside 1–4", n)
+	}
+	shared := NewMemory()
+	s := &System{Prog: p, Mode: ModeMP}
+	for i := 0; i < n; i++ {
+		priv := p.Data.Clone()
+		if init != nil {
+			init(i, priv)
+		}
+		c := &Context{ID: uint8(i), Prog: p}
+		c.State.PC = p.Entry
+		c.State.CtxID = uint8(i)
+		c.State.Reg[2] = StackTop // isa.RegSP; ranks start identical
+		c.Mem = &mpMemory{priv: priv, shared: shared}
+		s.Contexts = append(s.Contexts, c)
+	}
+	return s, nil
+}

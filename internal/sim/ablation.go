@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"mmt/internal/core"
+	"mmt/internal/workloads"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. Each run
+// compares MMT-FXR variants against the same Base, so rows are directly
+// comparable with Fig. 5.
+
+// AblationRow is one application's speedup over Base for each variant.
+type AblationRow struct {
+	App      string
+	Speedups []float64 // parallel to the study's variant list
+}
+
+// ablate runs every app at the given thread count once per variant.
+func ablate(apps []workloads.App, threads int, variants []func(*core.Config)) ([]AblationRow, []float64, error) {
+	rows := make([]AblationRow, 0, len(apps))
+	per := make([][]float64, len(variants))
+	for _, a := range apps {
+		base, err := Run(a, PresetBase, threads, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := AblationRow{App: a.Name}
+		for vi, v := range variants {
+			r, err := Run(a, PresetMMTFXR, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := Speedup(base, r)
+			row.Speedups = append(row.Speedups, s)
+			per[vi] = append(per[vi], s)
+		}
+		rows = append(rows, row)
+	}
+	gms := make([]float64, len(variants))
+	for vi := range variants {
+		gms[vi] = Geomean(per[vi])
+	}
+	return rows, gms, nil
+}
+
+// SyncPolicyNames labels the synchronization ablation variants.
+var SyncPolicyNames = []string{"FHB+CATCHUP", "hints (TF)", "none"}
+
+// AblationSyncPolicy compares the paper's hardware remerge detector
+// against the Thread Fusion software-hints baseline [36] and against no
+// remerge detection at all.
+func AblationSyncPolicy(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablate(apps, threads, []func(*core.Config){
+		func(c *core.Config) { c.Sync = core.SyncFHB },
+		func(c *core.Config) { c.Sync = core.SyncHints },
+		func(c *core.Config) { c.Sync = core.SyncNone },
+	})
+}
+
+// LVIPModeNames labels the LVIP ablation variants.
+var LVIPModeNames = []string{"predict", "off", "oracle"}
+
+// AblationLVIP compares the paper's load-value-identical predictor against
+// no prediction (always split) and a value oracle (the upper bound).
+func AblationLVIP(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablate(apps, threads, []func(*core.Config){
+		func(c *core.Config) { c.LVIP = core.LVIPPredict },
+		func(c *core.Config) { c.LVIP = core.LVIPOff },
+		func(c *core.Config) { c.LVIP = core.LVIPOracle },
+	})
+}
+
+// AheadDuties is the CATCHUP ahead-thread duty-cycle sweep (0 = fully
+// gated; N = the ahead thread fetches every Nth cycle).
+var AheadDuties = []uint64{0, 2, 4, 8}
+
+// AblationAheadDuty sweeps the catchup priority policy.
+func AblationAheadDuty(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	var variants []func(*core.Config)
+	for _, d := range AheadDuties {
+		d := d
+		variants = append(variants, func(c *core.Config) { c.AheadDuty = d })
+	}
+	return ablate(apps, threads, variants)
+}
+
+// RegMergePortCounts is the register-merge read-port sweep (0 disables the
+// value comparisons entirely while keeping the rest of MMT-FXR).
+var RegMergePortCounts = []int{0, 1, 2, 4}
+
+// AblationRegMergePorts sweeps the commit-time comparison bandwidth.
+func AblationRegMergePorts(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	var variants []func(*core.Config)
+	for _, p := range RegMergePortCounts {
+		p := p
+		variants = append(variants, func(c *core.Config) { c.RegMergePorts = p })
+	}
+	return ablate(apps, threads, variants)
+}
+
+// FormatAblation renders one ablation study.
+func FormatAblation(title string, names []string, rows []AblationRow, gms []float64) string {
+	var b strings.Builder
+	header(&b, title)
+	fmt.Fprintf(&b, "%-14s", "app")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %12s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.App)
+		for _, s := range r.Speedups {
+			fmt.Fprintf(&b, " %12.3f", s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-14s", "geomean")
+	for _, g := range gms {
+		fmt.Fprintf(&b, " %12.3f", g)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// MachineScales are the §5 machine-scale variants ("the speedups of our
+// system increase as the system is scaled down, so we chose an aggressive
+// baseline").
+var MachineScaleNames = []string{"8-wide (Table 4)", "4-wide", "2-wide"}
+
+func machineScaleVariants() []func(*core.Config) {
+	shrink := func(c *core.Config, width, alus, fpus, ports int) {
+		c.FetchWidth, c.IssueWidth, c.CommitWidth, c.RenameWidth = width, width, width, width
+		c.IntALUs, c.FPUs, c.LSPorts = alus, fpus, ports
+	}
+	return []func(*core.Config){
+		func(c *core.Config) {},
+		func(c *core.Config) { shrink(c, 4, 3, 2, 2) },
+		func(c *core.Config) { shrink(c, 2, 2, 1, 1) },
+	}
+}
+
+// AblationMachineScale verifies the §5 claim by shrinking the machine.
+// Base and MMT use the same shrunken machine per column.
+func AblationMachineScale(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	variants := machineScaleVariants()
+	rows := make([]AblationRow, 0, len(apps))
+	per := make([][]float64, len(variants))
+	for _, a := range apps {
+		row := AblationRow{App: a.Name}
+		for vi, v := range variants {
+			base, err := Run(a, PresetBase, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := Run(a, PresetMMTFXR, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := Speedup(base, r)
+			row.Speedups = append(row.Speedups, s)
+			per[vi] = append(per[vi], s)
+		}
+		rows = append(rows, row)
+	}
+	gms := make([]float64, len(variants))
+	for vi := range variants {
+		gms[vi] = Geomean(per[vi])
+	}
+	return rows, gms, nil
+}
+
+// TraceCacheNames labels the §5 trace-cache check ("we found that the
+// trace cache actually had a negligible effect on the results").
+var TraceCacheNames = []string{"with TC", "without TC"}
+
+// AblationTraceCache compares MMT-FXR speedups with and without the trace
+// cache (Base and MMT matched per column).
+func AblationTraceCache(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	variants := []func(*core.Config){
+		func(c *core.Config) {},
+		func(c *core.Config) { c.TraceCacheBytes = 0 },
+	}
+	rows := make([]AblationRow, 0, len(apps))
+	per := make([][]float64, len(variants))
+	for _, a := range apps {
+		row := AblationRow{App: a.Name}
+		for vi, v := range variants {
+			base, err := Run(a, PresetBase, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := Run(a, PresetMMTFXR, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := Speedup(base, r)
+			row.Speedups = append(row.Speedups, s)
+			per[vi] = append(per[vi], s)
+		}
+		rows = append(rows, row)
+	}
+	gms := make([]float64, len(variants))
+	for vi := range variants {
+		gms[vi] = Geomean(per[vi])
+	}
+	return rows, gms, nil
+}

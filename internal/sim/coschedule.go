@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"mmt/internal/asm"
+	"mmt/internal/core"
+	"mmt/internal/power"
+	"mmt/internal/prog"
+	"mmt/internal/workloads"
+)
+
+// Multi-programmed co-scheduling (paper §4.4: "The scheduler needs to gang
+// schedule the threads in pairs or larger groups"): two instances each of
+// two different applications share one 4-thread core. The programs occupy
+// disjoint text segments, so MMT can only merge within each gang — the
+// experiment measures how much of the two-thread benefit survives a mixed
+// workload.
+
+// altCodeBase/altDataBase place the second program clear of the first.
+const (
+	altCodeBase = 0x0008_0000
+	altDataBase = 0x0030_0000
+)
+
+// CoschedRow is one pair's result.
+type CoschedRow struct {
+	Pair      string
+	Speedup   float64 // MMT-FXR over Base, both co-scheduled
+	Merge     float64 // MERGE residency under MMT-FXR
+	ExecIdent float64
+}
+
+// CoschedulePairs is the mixed-workload set: one high-sharing and one
+// low-sharing application per pair.
+var CoschedulePairs = [][2]string{
+	{"ammp", "twolf"},
+	{"equake", "mcf"},
+	{"libsvm", "vpr"},
+}
+
+// buildCoschedule assembles a at the default bases and b at the alternate
+// bases, and builds a 4-context system: contexts 0,1 run a (instances 0,1)
+// and contexts 2,3 run b (instances 0,1).
+func buildCoschedule(a, b workloads.App) (*prog.System, error) {
+	if a.Mode != prog.ModeME || b.Mode != prog.ModeME {
+		return nil, fmt.Errorf("sim: co-scheduling is defined for multi-execution apps (got %s/%s)", a.Mode, b.Mode)
+	}
+	pa, err := asm.Assemble(a.Name, a.Source)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := asm.AssembleAt(b.Name, b.Source, altCodeBase, altDataBase)
+	if err != nil {
+		return nil, err
+	}
+	init := func(ctx int, mem *prog.Memory) {
+		switch {
+		case ctx < 2 && a.Init != nil:
+			a.Init(pa, ctx, mem, false)
+		case ctx >= 2 && b.Init != nil:
+			b.Init(pb, ctx-2, mem, false)
+		}
+	}
+	return prog.NewMultiSystem([]*prog.Program{pa, pa, pb, pb}, init)
+}
+
+// runCoschedule simulates one pair under one preset.
+func runCoschedule(a, b workloads.App, p Preset) (*Result, error) {
+	cfg, err := Configure(p, 4)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := buildCoschedule(a, b)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(cfg, sys)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sim: coschedule %s+%s/%s: %w", a.Name, b.Name, p, err)
+	}
+	model := power.NewModel()
+	return &Result{
+		App: a.Name + "+" + b.Name, Preset: p, Threads: 4,
+		Stats: st, Mem: c.MemEvents(),
+		Energy:       model.Energy(st, c.MemEvents()),
+		EnergyPerJob: model.EnergyPerJob(st, c.MemEvents()),
+	}, nil
+}
+
+// ExtensionCoschedule runs the mixed-workload study.
+func ExtensionCoschedule() ([]CoschedRow, error) {
+	var rows []CoschedRow
+	for _, pair := range CoschedulePairs {
+		a, ok := workloads.ByName(pair[0])
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown app %q", pair[0])
+		}
+		b, ok := workloads.ByName(pair[1])
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown app %q", pair[1])
+		}
+		base, err := runCoschedule(a, b, PresetBase)
+		if err != nil {
+			return nil, err
+		}
+		fxr, err := runCoschedule(a, b, PresetMMTFXR)
+		if err != nil {
+			return nil, err
+		}
+		m, _, _ := fxr.Stats.FetchModeFractions()
+		x, xr, _, _ := fxr.Stats.IdenticalFractions()
+		rows = append(rows, CoschedRow{
+			Pair:      a.Name + "+" + b.Name,
+			Speedup:   Speedup(base, fxr),
+			Merge:     m,
+			ExecIdent: x + xr,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCoschedule renders the mixed-workload study.
+func FormatCoschedule(rows []CoschedRow) string {
+	var b strings.Builder
+	header(&b, "Extension (paper §4.4): gang-scheduled mixed workloads, 4 threads")
+	fmt.Fprintf(&b, "%-16s %9s %8s %12s\n", "pair (2+2)", "speedup", "MERGE", "exec-ident")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %9.3f %7.1f%% %11.1f%%\n",
+			r.Pair, r.Speedup, 100*r.Merge, 100*r.ExecIdent)
+	}
+	return b.String()
+}

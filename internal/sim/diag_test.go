@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+
+	"mmt/internal/workloads"
+)
+
+// TestDiagFigure5 prints the full Fig. 5 speedup tables; a diagnostic for
+// retuning workloads, skipped unless run with -v:
+//
+//	go test ./internal/sim -run TestDiagFigure5 -v
+func TestDiagFigure5(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	for _, n := range []int{2, 4} {
+		rows, gm, err := Figure5Speedups(workloads.All(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", FormatFig5(rows, gm, n))
+	}
+}

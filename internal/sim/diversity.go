@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"mmt/internal/asm"
+	"mmt/internal/core"
+	"mmt/internal/prog"
+	"mmt/internal/workloads"
+)
+
+// Software-diversity study (paper §7: "different workloads, such as
+// software diversity in the security domain, have similar execution but
+// different executables, requiring a new, but similar, approach"). Two
+// diversified builds of the same program — permuted register allocation
+// and a different code layout — run two instances each on a 4-thread MMT.
+// Because the binaries share no PCs, the ITID mechanism cannot merge
+// across variants, and the measured gain quantifies exactly what the
+// paper's future-work item would need to recover.
+
+// permuteRegisters renames general-purpose registers in an assembly source
+// (a crude register re-allocator producing a semantically identical but
+// differently encoded executable). r0–r4 are preserved: r0/ra/sp are
+// special and r4 conventionally holds tid/input pointers.
+func permuteRegisters(src string) string {
+	// A fixed permutation of r5..r28 (cycle shifted by 7). The scan is a
+	// single pass over the input, so replacements are written directly.
+	perm := make(map[string]string)
+	const lo, hi = 5, 28
+	for r := lo; r <= hi; r++ {
+		to := lo + (r-lo+7)%(hi-lo+1)
+		perm[fmt.Sprintf("r%d", r)] = fmt.Sprintf("r%d", to)
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if c == ';' { // comments verbatim to end of line
+			j := strings.IndexByte(src[i:], '\n')
+			if j < 0 {
+				b.WriteString(src[i:])
+				break
+			}
+			b.WriteString(src[i : i+j])
+			i += j
+			continue
+		}
+		if c == 'r' && (i == 0 || !isWordByte(src[i-1])) {
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j > i+1 && (j == len(src) || !isWordByte(src[j])) {
+				if to, ok := perm[src[i:j]]; ok {
+					b.WriteString(to)
+					i = j
+					continue
+				}
+			}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// DiversityRow compares one application run as four uniform instances
+// against two instances each of two diversified builds.
+type DiversityRow struct {
+	App     string
+	Uniform float64 // MMT-FXR speedup, 4 identical binaries
+	Diverse float64 // MMT-FXR speedup, 2+2 diversified binaries
+}
+
+// DiversityApps is the study's application set.
+var DiversityApps = []string{"ammp", "mcf", "equake"}
+
+// ExtensionDiversity runs the software-diversity study.
+func ExtensionDiversity() ([]DiversityRow, error) {
+	var rows []DiversityRow
+	for _, name := range DiversityApps {
+		a, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown app %q", name)
+		}
+		uniform, err := speedupOn(buildUniform(a))
+		if err != nil {
+			return nil, fmt.Errorf("diversity %s uniform: %w", name, err)
+		}
+		diverse, err := speedupOn(buildDiverse(a))
+		if err != nil {
+			return nil, fmt.Errorf("diversity %s diverse: %w", name, err)
+		}
+		rows = append(rows, DiversityRow{App: name, Uniform: uniform, Diverse: diverse})
+	}
+	return rows, nil
+}
+
+type sysBuilder func() (*prog.System, error)
+
+func buildUniform(a workloads.App) sysBuilder {
+	return func() (*prog.System, error) {
+		return a.Build(4, false)
+	}
+}
+
+func buildDiverse(a workloads.App) sysBuilder {
+	return func() (*prog.System, error) {
+		pa, err := asm.Assemble(a.Name, a.Source)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := asm.AssembleAt(a.Name+"-variant", permuteRegisters(a.Source), altCodeBase, altDataBase)
+		if err != nil {
+			return nil, err
+		}
+		init := func(ctx int, mem *prog.Memory) {
+			if a.Init == nil {
+				return
+			}
+			if ctx < 2 {
+				a.Init(pa, ctx, mem, false)
+			} else {
+				a.Init(pb, ctx-2, mem, false)
+			}
+		}
+		return prog.NewMultiSystem([]*prog.Program{pa, pa, pb, pb}, init)
+	}
+}
+
+// speedupOn runs Base and MMT-FXR on freshly built systems and returns the
+// cycle ratio.
+func speedupOn(build sysBuilder) (float64, error) {
+	run := func(p Preset) (uint64, error) {
+		cfg, err := Configure(p, 4)
+		if err != nil {
+			return 0, err
+		}
+		sys, err := build()
+		if err != nil {
+			return 0, err
+		}
+		c, err := core.New(cfg, sys)
+		if err != nil {
+			return 0, err
+		}
+		st, err := c.Run()
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}
+	base, err := run(PresetBase)
+	if err != nil {
+		return 0, err
+	}
+	fxr, err := run(PresetMMTFXR)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base) / float64(fxr), nil
+}
+
+// FormatDiversity renders the study.
+func FormatDiversity(rows []DiversityRow) string {
+	var b strings.Builder
+	header(&b, "Extension (paper §7): software diversity — 4 uniform vs 2+2 diversified builds")
+	fmt.Fprintf(&b, "%-14s %12s %12s\n", "app", "uniform", "diversified")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.3f %12.3f\n", r.App, r.Uniform, r.Diverse)
+	}
+	return b.String()
+}

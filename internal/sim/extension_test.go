@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mmt/internal/asm"
+	"mmt/internal/core"
+	"mmt/internal/prog"
+	"mmt/internal/workloads"
+)
+
+func TestExtensionMP(t *testing.T) {
+	rows, err := ExtensionMP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", r.App, r.Speedup)
+		}
+		if r.Merge < 0.5 {
+			t.Errorf("%s: MERGE %f — SPMD ranks should mostly merge", r.App, r.Merge)
+		}
+	}
+	// The all-reduce's gather is rank-independent: it must be the most
+	// mergeable and the biggest winner.
+	var all MPRow
+	for _, r := range rows {
+		if r.App == "allreduce-mp" {
+			all = r
+		}
+	}
+	if all.Speedup < 1.3 {
+		t.Errorf("allreduce speedup = %f", all.Speedup)
+	}
+	if !strings.Contains(FormatMP(rows), "allreduce-mp") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestExtensionCoschedule(t *testing.T) {
+	rows, err := ExtensionCoschedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CoschedulePairs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", r.Pair, r.Speedup)
+		}
+		// Gangs of two can merge at most pairwise; some merged
+		// execution must survive the mixed workload.
+		if r.ExecIdent == 0 {
+			t.Errorf("%s: no merged execution", r.Pair)
+		}
+	}
+	// The high-sharing pair outruns the annealing pair.
+	byPair := map[string]CoschedRow{}
+	for _, r := range rows {
+		byPair[r.Pair] = r
+	}
+	if byPair["equake+mcf"].Speedup < byPair["libsvm+vpr"].Speedup {
+		t.Errorf("pair ordering unexpected: %+v", rows)
+	}
+	_ = FormatCoschedule(rows)
+}
+
+func TestCoscheduleRejectsMTApps(t *testing.T) {
+	a, _ := workloads.ByName("ammp")
+	mt, _ := workloads.ByName("lu")
+	if _, err := buildCoschedule(a, mt); err == nil {
+		t.Error("MT app accepted for co-scheduling")
+	}
+}
+
+func TestAblationSyncPolicy(t *testing.T) {
+	apps := pick(t, "water-ns", "twolf")
+	rows, gms, err := AblationSyncPolicy(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(gms) != len(SyncPolicyNames) {
+		t.Fatalf("shape: %d rows, %d gms", len(rows), len(gms))
+	}
+	// water-ns depends on the FHB mechanism: the hardware detector must
+	// beat both the hints baseline and no detection.
+	var wn AblationRow
+	for _, r := range rows {
+		if r.App == "water-ns" {
+			wn = r
+		}
+	}
+	if wn.Speedups[0] <= wn.Speedups[1] {
+		t.Errorf("water-ns: FHB %.3f vs hints %.3f — hardware detection should win", wn.Speedups[0], wn.Speedups[1])
+	}
+	out := FormatAblation("t", SyncPolicyNames, rows, gms)
+	if !strings.Contains(out, "geomean") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestAblationLVIP(t *testing.T) {
+	apps := pick(t, "libsvm", "ammp")
+	rows, gms, err := AblationLVIP(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+	// predict ≈ oracle >= off: the predictor recovers nearly all the
+	// oracle's value, and both beat always-splitting.
+	predict, off, oracle := gms[0], gms[1], gms[2]
+	if predict < off {
+		t.Errorf("predictor (%.3f) below always-split (%.3f)", predict, off)
+	}
+	if oracle < off {
+		t.Errorf("oracle (%.3f) below always-split (%.3f)", oracle, off)
+	}
+	if predict < 0.9*oracle {
+		t.Errorf("predictor (%.3f) far below oracle (%.3f)", predict, oracle)
+	}
+}
+
+func TestAblationSweepShapes(t *testing.T) {
+	apps := pick(t, "equake")
+	rows, gms, err := AblationAheadDuty(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0].Speedups) != len(AheadDuties) || len(gms) != len(AheadDuties) {
+		t.Error("duty sweep shape")
+	}
+	rows, gms, err = AblationRegMergePorts(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0].Speedups) != len(RegMergePortCounts) || len(gms) != len(RegMergePortCounts) {
+		t.Error("port sweep shape")
+	}
+}
+
+func TestSyncPolicyConfigs(t *testing.T) {
+	// The policies are distinct behaviours on a divergent app.
+	app, _ := workloads.ByName("twolf")
+	get := func(p core.SyncPolicy) *core.Stats {
+		r, err := Run(app, PresetMMTFXR, 2, func(c *core.Config) { c.Sync = p })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+	fhb := get(core.SyncFHB)
+	hints := get(core.SyncHints)
+	none := get(core.SyncNone)
+	if fhb.CatchupsStarted == 0 {
+		t.Error("FHB policy never entered catchup")
+	}
+	if hints.HintParks == 0 {
+		t.Error("hints policy never parked")
+	}
+	if none.CatchupsStarted != 0 || none.HintParks != 0 {
+		t.Error("none policy used a detector")
+	}
+	if none.FetchedByMode[core.FetchCatchup] != 0 {
+		t.Error("none policy recorded CATCHUP instructions")
+	}
+}
+
+func TestPermuteRegistersPreservesSemantics(t *testing.T) {
+	for _, name := range DiversityApps {
+		a, _ := workloads.ByName(name)
+		variant := permuteRegisters(a.Source)
+		if variant == a.Source {
+			t.Errorf("%s: permutation changed nothing", name)
+		}
+		// Specials are preserved.
+		for _, tok := range []string{"r0", "r4", "tid"} {
+			if strings.Contains(a.Source, tok) && !strings.Contains(variant, tok) {
+				t.Errorf("%s: token %q lost", name, tok)
+			}
+		}
+		pa, err := asm.Assemble(name, a.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := asm.AssembleAt(name+"-v", variant, altCodeBase, altDataBase)
+		if err != nil {
+			t.Fatalf("%s variant: %v", name, err)
+		}
+		if len(pa.Insts) != len(pb.Insts) {
+			t.Fatalf("%s: instruction counts differ: %d vs %d", name, len(pa.Insts), len(pb.Insts))
+		}
+		// Semantically identical: the variant runs the same dynamic path.
+		run := func(p *prog.Program) uint64 {
+			sys, err := prog.NewMultiSystem([]*prog.Program{p}, func(ctx int, mem *prog.Memory) {
+				if a.Init != nil {
+					a.Init(p, 0, mem, false)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.RunFunctional(3_000_000); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			return sys.Contexts[0].DynCount
+		}
+		if da, db := run(pa), run(pb); da != db {
+			t.Errorf("%s: dynamic paths diverge: %d vs %d instructions", name, da, db)
+		}
+	}
+}
+
+func TestExtensionDiversity(t *testing.T) {
+	rows, err := ExtensionDiversity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DiversityApps) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Uniform <= 0 || r.Diverse <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", r.App, r)
+		}
+	}
+	// In aggregate, diversity reduces what MMT can merge: the uniform
+	// geomean exceeds the diversified one.
+	var u, d []float64
+	for _, r := range rows {
+		u = append(u, r.Uniform)
+		d = append(d, r.Diverse)
+	}
+	if Geomean(u) <= Geomean(d) {
+		t.Errorf("diversity did not reduce gains: uniform %.3f vs diverse %.3f", Geomean(u), Geomean(d))
+	}
+	_ = FormatDiversity(rows)
+}
+
+func TestExtensionScaling(t *testing.T) {
+	rows, err := ExtensionScaling(pick(t, "water-ns", "swaptions", "twolf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Threads != 1 || rows[0].Geomean < 0.99 || rows[0].Geomean > 1.01 {
+		t.Errorf("1-thread speedup = %f, want ~1.0", rows[0].Geomean)
+	}
+	// The advantage grows with threads on this sharing-heavy subset.
+	if rows[3].Geomean <= rows[1].Geomean {
+		t.Errorf("no scaling: %+v", rows)
+	}
+	_ = FormatScaling(rows)
+}
+
+func TestAblationMachineScaleShapes(t *testing.T) {
+	apps := pick(t, "swaptions", "ammp")
+	rows, gms, err := AblationMachineScale(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gms) != len(MachineScaleNames) || len(rows) != 2 {
+		t.Fatal("shape")
+	}
+	for i, g := range gms {
+		if g <= 0.5 {
+			t.Errorf("variant %d geomean %f", i, g)
+		}
+	}
+}
+
+func TestAblationTraceCacheShapes(t *testing.T) {
+	apps := pick(t, "ammp")
+	rows, gms, err := AblationTraceCache(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gms) != 2 || len(rows[0].Speedups) != 2 {
+		t.Fatal("shape")
+	}
+	// MMT still wins on the high-sharing app without a trace cache.
+	if gms[1] < 1.0 {
+		t.Errorf("without-TC geomean %f on ammp", gms[1])
+	}
+}
+
+func TestMemoCachesUnmutatedRuns(t *testing.T) {
+	m := NewMemo()
+	r1, err := m.Run("libsvm", PresetBase, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Run("libsvm", PresetBase, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second unmutated run not cached")
+	}
+	if m.Len() != 1 {
+		t.Errorf("cache size %d", m.Len())
+	}
+	// Mutated runs bypass the cache.
+	r3, err := m.Run("libsvm", PresetBase, 2, func(c *core.Config) { c.FHBSize = 8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 || m.Len() != 1 {
+		t.Error("mutated run was cached")
+	}
+	if _, err := m.Run("nosuch", PresetBase, 2, nil); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text-table rendering shared by cmd/mmtbench and the experiment log.
+
+func header(b *strings.Builder, title string) {
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(title)))
+	b.WriteByte('\n')
+}
+
+// FormatFig1 renders the Fig. 1 breakdown.
+func FormatFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	header(&b, "Figure 1: instruction sharing breakdown (2 contexts)")
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s\n", "app", "exec-ident", "fetch-ident", "not-ident")
+	var xs, fs []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.1f%% %11.1f%% %11.1f%%\n",
+			r.App, 100*r.ExecIdent, 100*r.FetchIdent, 100*r.NotIdent)
+		xs = append(xs, r.ExecIdent)
+		fs = append(fs, r.ExecIdent+r.FetchIdent)
+	}
+	fmt.Fprintf(&b, "%-14s %11.1f%% %11.1f%%  (arithmetic means: exec-ident, total fetchable)\n",
+		"average", 100*mean(xs), 100*mean(fs))
+	return b.String()
+}
+
+// FormatFig2 renders the divergence-length histogram.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	header(&b, "Figure 2: divergent path length difference (cumulative, taken branches)")
+	fmt.Fprintf(&b, "%-14s %7s %7s %7s %7s %7s %7s %8s\n",
+		"app", "<=16", "<=32", "<=64", "<=128", "<=256", "<=512", "divs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %8d\n",
+			r.App, 100*r.Cumulative[0], 100*r.Cumulative[1], 100*r.Cumulative[2],
+			100*r.Cumulative[3], 100*r.Cumulative[4], 100*r.Cumulative[5], r.Divergences)
+	}
+	return b.String()
+}
+
+// FormatFig5 renders a speedup table (Fig. 5(a) or 5(c)).
+func FormatFig5(rows []SpeedupRow, gm SpeedupRow, threads int) string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Figure 5: speedup over Base SMT, %d threads", threads))
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s\n", "app", "MMT-F", "MMT-FX", "MMT-FXR", "Limit")
+	for _, r := range append(rows, gm) {
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f %8.3f\n", r.App, r.F, r.FX, r.FXR, r.Limit)
+	}
+	return b.String()
+}
+
+// FormatFig5b renders the identified-identical breakdown.
+func FormatFig5b(rows []Fig5bRow) string {
+	var b strings.Builder
+	header(&b, "Figure 5(b): identical instructions identified (MMT-FXR)")
+	fmt.Fprintf(&b, "%-14s %11s %13s %12s %11s\n", "app", "exec-ident", "exec+regmerge", "fetch-ident", "not-ident")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10.1f%% %12.1f%% %11.1f%% %10.1f%%\n",
+			r.App, 100*r.ExecIdent, 100*r.ExecIdentRegMerge, 100*r.FetchIdent, 100*r.NotIdent)
+	}
+	return b.String()
+}
+
+// FormatFig5d renders fetch-mode residency.
+func FormatFig5d(rows []Fig5dRow) string {
+	var b strings.Builder
+	header(&b, "Figure 5(d): instruction breakdown by fetch mode (MMT-FXR)")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s\n", "app", "MERGE", "DETECT", "CATCHUP")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %7.1f%% %7.1f%% %7.1f%%\n",
+			r.App, 100*r.Merge, 100*r.Detect, 100*r.Catchup)
+	}
+	return b.String()
+}
+
+// FormatFig6 renders the energy comparison.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	header(&b, "Figure 6: energy per job, normalized to SMT-2T")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %24s\n",
+		"app", "SMT-2T", "MMT-2T", "SMT-4T", "MMT-4T", "MMT-4T cache/ovh/other")
+	var ratios []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f %8.3f    %5.1f%% /%5.2f%% /%5.1f%%\n",
+			r.App, r.SMT2, r.MMT2, r.SMT4, r.MMT4,
+			100*r.CacheFrac, 100*r.OverheadFrac, 100*r.OtherFrac)
+		if r.SMT4 > 0 {
+			ratios = append(ratios, r.MMT4/r.SMT4)
+		}
+	}
+	fmt.Fprintf(&b, "%-14s MMT-4T/SMT-4T geomean = %.3f\n", "summary", Geomean(ratios))
+	return b.String()
+}
+
+// FormatFig7a renders the FHB size sweep.
+func FormatFig7a(rows []Fig7aRow) string {
+	var b strings.Builder
+	header(&b, "Figure 7(a): speedup over Base vs FHB size")
+	fmt.Fprintf(&b, "%-14s", "app")
+	for _, s := range FHBSizes {
+		fmt.Fprintf(&b, " %7d", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.App)
+		for _, s := range r.Speedups {
+			fmt.Fprintf(&b, " %7.3f", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFig7c renders the FHB-size mode residency sweep.
+func FormatFig7c(rows []Fig7cRow) string {
+	var b strings.Builder
+	header(&b, "Figure 7(c): MERGE residency vs FHB size (CATCHUP in parens)")
+	fmt.Fprintf(&b, "%-14s", "app")
+	for _, s := range FHBSizes {
+		fmt.Fprintf(&b, " %15d", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.App)
+		for i := range FHBSizes {
+			fmt.Fprintf(&b, "  %5.1f%% (%4.1f%%)", 100*r.Merge[i], 100*r.Catchup[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatSweep renders a geomean-speedup sweep (Fig. 7(b)/(d)).
+func FormatSweep(title string, points []int, speedups []float64) string {
+	var b strings.Builder
+	header(&b, title)
+	for i, p := range points {
+		fmt.Fprintf(&b, "%6d: %.3f\n", p, speedups[i])
+	}
+	return b.String()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// FormatMP renders the message-passing extension study.
+func FormatMP(rows []MPRow) string {
+	var b strings.Builder
+	header(&b, "Extension (paper §7 future work): message-passing workloads")
+	fmt.Fprintf(&b, "%-14s %6s %9s %8s %12s\n", "app", "ranks", "speedup", "MERGE", "exec-ident")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6d %9.3f %7.1f%% %11.1f%%\n",
+			r.App, r.Ranks, r.Speedup, 100*r.Merge, 100*r.ExecId)
+	}
+	return b.String()
+}
+
+// FormatScaling renders the thread-count sweep.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	header(&b, "Extension: MMT-FXR geomean speedup vs hardware thread count")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d threads: %.3f\n", r.Threads, r.Geomean)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package tracecache models the trace cache of the baseline core (§5 of
+// the MMT paper: 1 MB, perfect trace prediction). Traces are built at
+// commit from the retired instruction stream; a fetch-time hit lets the
+// front end fetch through up to MaxBranches taken branches in one cycle.
+//
+// The paper reports the trace cache had a negligible effect on its
+// results; it is modeled here because the baseline is defined with it and
+// because shared fetch interacts with front-end bandwidth.
+package tracecache
+
+// Limits of one trace, following Rotenberg et al. [44].
+const (
+	MaxInsts    = 16
+	MaxBranches = 3
+)
+
+// instSlotBytes approximates the storage cost of one instruction slot in
+// the trace storage, used to convert the configured byte capacity into a
+// trace budget.
+const instSlotBytes = 8
+
+// trace records one built trace.
+type trace struct {
+	startPC  uint64
+	insts    int
+	branches int
+	lru      uint64
+}
+
+// TraceCache stores traces keyed by start PC with LRU replacement under a
+// byte-capacity budget. Lookup is "perfect trace prediction": a resident
+// trace is always usable.
+type TraceCache struct {
+	byStart  map[uint64]*trace
+	capInsts int
+	used     int
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a trace cache with the given storage capacity in bytes
+// (Table 4: 1 MB). A zero or negative capacity disables the cache (every
+// lookup misses).
+func New(capacityBytes int) *TraceCache {
+	return &TraceCache{
+		byStart:  make(map[uint64]*trace),
+		capInsts: capacityBytes / instSlotBytes,
+	}
+}
+
+// Lookup reports whether a trace starting at pc is resident, and if so how
+// many taken branches the front end may fetch through this cycle.
+func (tc *TraceCache) Lookup(pc uint64) (branches int, ok bool) {
+	t := tc.byStart[pc]
+	if t == nil {
+		tc.Misses++
+		return 0, false
+	}
+	tc.clock++
+	t.lru = tc.clock
+	tc.Hits++
+	return t.branches, true
+}
+
+// Insert records a trace built at commit.
+func (tc *TraceCache) Insert(startPC uint64, insts, branches int) {
+	if tc.capInsts <= 0 || insts <= 0 {
+		return
+	}
+	if old := tc.byStart[startPC]; old != nil {
+		tc.used -= old.insts
+		delete(tc.byStart, startPC)
+	}
+	for tc.used+insts > tc.capInsts && len(tc.byStart) > 0 {
+		tc.evictLRU()
+	}
+	tc.clock++
+	tc.byStart[startPC] = &trace{startPC: startPC, insts: insts, branches: branches, lru: tc.clock}
+	tc.used += insts
+}
+
+func (tc *TraceCache) evictLRU() {
+	var victim *trace
+	for _, t := range tc.byStart {
+		if victim == nil || t.lru < victim.lru {
+			victim = t
+		}
+	}
+	tc.used -= victim.insts
+	delete(tc.byStart, victim.startPC)
+}
+
+// Len returns the number of resident traces.
+func (tc *TraceCache) Len() int { return len(tc.byStart) }
+
+// Builder accumulates the committed instruction stream of one thread into
+// traces and inserts them into the shared trace cache. Call Retire for
+// every committed instruction in order.
+type Builder struct {
+	tc       *TraceCache
+	startPC  uint64
+	insts    int
+	branches int
+	started  bool
+}
+
+// NewBuilder builds a per-thread trace builder feeding tc.
+func NewBuilder(tc *TraceCache) *Builder { return &Builder{tc: tc} }
+
+// Retire feeds one committed instruction. taken marks a taken control
+// instruction (which ends a basic block inside the trace).
+func (b *Builder) Retire(pc uint64, taken bool) {
+	if !b.started {
+		b.startPC = pc
+		b.started = true
+	}
+	b.insts++
+	if taken {
+		b.branches++
+	}
+	if b.insts >= MaxInsts || b.branches >= MaxBranches {
+		b.flush()
+	}
+}
+
+func (b *Builder) flush() {
+	if b.started && b.insts > 0 {
+		b.tc.Insert(b.startPC, b.insts, b.branches)
+	}
+	b.started = false
+	b.insts = 0
+	b.branches = 0
+}

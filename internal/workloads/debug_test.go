@@ -1,0 +1,36 @@
+package workloads
+
+import (
+	"testing"
+
+	"mmt/internal/core"
+)
+
+// TestDebugProfiles prints each application's MMT profile; diagnostic only.
+func TestDebugProfiles(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic")
+	}
+	for _, a := range All() {
+		sys, err := a.Build(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.MaxCycles = 20_000_000
+		c, err := core.New(cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		ei, eir, fi, ni := st.IdenticalFractions()
+		m, d, cu := st.FetchModeFractions()
+		t.Logf("%-14s insts=%7d cyc=%7d ei=%.2f eir=%.2f fi=%.2f ni=%.2f | merge=%.2f detect=%.2f catchup=%.2f | div=%d rem=%d cst=%d cab=%d lvipRb=%d rmHits=%d",
+			a.Name, st.TotalCommitted(), st.Cycles, ei, eir, fi, ni, m, d, cu,
+			st.Divergences, st.Remerges, st.CatchupsStarted, st.CatchupsAborted,
+			st.LVIPRollbacks, st.RegMergeHits)
+	}
+}

@@ -1,0 +1,50 @@
+package workloads
+
+import "testing"
+
+// goldenDynCounts pins each application's per-context dynamic instruction
+// counts (2 contexts, standard inputs). The workloads are calibrated
+// against the paper's per-application redundancy profiles (DESIGN.md §2);
+// an unintended change to a kernel or its inputs shifts these counts and
+// fails here. Update the table deliberately when retuning a kernel.
+var goldenDynCounts = map[string][2]uint64{
+	"libsvm":       {8126, 8127},
+	"ammp":         {41783, 41765},
+	"twolf":        {33130, 33132},
+	"vortex":       {84830, 85710},
+	"vpr":          {27319, 27297},
+	"equake":       {24133, 25093},
+	"mcf":          {22543, 22515},
+	"ocean":        {51137, 51135},
+	"lu":           {19867, 19867},
+	"fft":          {14465, 14466},
+	"water-ns":     {156289, 156289},
+	"water-sp":     {23622, 23342},
+	"swaptions":    {12784, 12784},
+	"fluidanimate": {10899, 10899},
+	"blackscholes": {9127, 9127},
+	"canneal":      {25967, 25983},
+}
+
+func TestGoldenDynamicCounts(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			want, ok := goldenDynCounts[a.Name]
+			if !ok {
+				t.Fatalf("no golden entry for %s — add one", a.Name)
+			}
+			sys, err := a.Build(2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.RunFunctional(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := [2]uint64{sys.Contexts[0].DynCount, sys.Contexts[1].DynCount}
+			if got != want {
+				t.Errorf("dynamic counts %v, golden %v — kernel or inputs changed", got, want)
+			}
+		})
+	}
+}

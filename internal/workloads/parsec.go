@@ -1,0 +1,219 @@
+package workloads
+
+import (
+	"mmt/internal/prog"
+)
+
+// PARSEC multi-threaded workloads (sim-small-like scaled kernels).
+
+func init() {
+	register(App{
+		Name:  "swaptions",
+		Suite: "PARSEC",
+		Mode:  prog.ModeMT,
+		About: "HJM Monte-Carlo trials over one shared swaption: the term-structure math is execute-identical, only the trial index is private",
+		Source: `
+; swaptions kernel: each thread simulates TRIALS paths of the same
+; swaption. The forward-curve loads and most of the path arithmetic read
+; shared parameters (execute-identical); only the per-thread trial mixing
+; is split.
+        .equ  TRIALS, 90
+        .equ  TERMS, 12
+        tid   r4
+        li    r20, TRIALS
+        li    r27, TERMS
+trial:  li    r6, 0
+        li    r7, curve
+        li    r21, 0
+        fcvt  r21, r21           ; path value
+term:   ld    r8, 0(r7)          ; forward rate (shared)
+        ld    r9, vol            ; volatility (shared)
+        fmul  r10, r8, r9
+        fadd  r11, r8, r10
+        fmul  r12, r11, r11
+        fadd  r21, r21, r12      ; shared accumulation
+; per-thread shock: the trial's random draw depends on the thread's
+; trial indices, so this slice of the path math is split
+        add   r15, r20, r4
+        xor   r16, r15, r6
+        addi  r7, r7, 8
+        addi  r6, r6, 1
+        blt   r6, r27, term
+; private trial mixing: tid-dependent, splits
+        mul   r13, r20, r4
+        add   r22, r22, r13
+        fcvt  r14, r13
+        fadd  r23, r23, r14
+        addi  r20, r20, -1
+        bnez  r20, trial
+        halt
+        .data
+vol:    .double 0.04
+curve:  .space TERMS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "curve"), 12, 0x5AA1)
+		},
+	})
+
+	register(App{
+		Name:  "fluidanimate",
+		Suite: "PARSEC",
+		Mode:  prog.ModeMT,
+		About: "SPH neighbor interactions reading a shared particle grid with private density accumulators",
+		Source: `
+; fluidanimate kernel: FRAMES passes over PARTS particles; density uses
+; shared kernel constants and shared neighbor positions; each thread
+; writes densities for its own particle range.
+        .equ  PARTS, 110
+        .equ  FRAMES, 7
+        tid   r4
+        li    r5, PARTS*8
+        mul   r6, r4, r5
+        li    r7, dens
+        add   r7, r7, r6
+        li    r20, FRAMES
+frame:  li    r8, 0
+        li    r9, parts
+ploop:  ld    r10, 0(r9)         ; neighbor pos (shared)
+        ld    r11, 8(r9)
+        ld    r12, hsq           ; kernel constant (shared)
+        fsub  r13, r10, r11
+        fmul  r14, r13, r13
+        flt   r15, r14, r12
+        beqz  r15, sparse
+        fsub  r16, r12, r14
+        fmul  r17, r16, r16
+        fmul  r18, r17, r16
+        fadd  r21, r21, r18      ; density sum (shared values)
+sparse: slli  r19, r8, 3
+        add   r19, r7, r19
+        st    r21, 0(r19)        ; private density store
+        addi  r9, r9, 16
+        addi  r8, r8, 1
+        slti  r22, r8, PARTS
+        bnez  r22, ploop
+        addi  r20, r20, -1
+        bnez  r20, frame
+        halt
+        .data
+hsq:    .double 0.0004
+parts:  .space PARTS*16
+dens:   .space 4*PARTS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "parts"), 2*110, 0xF1D0)
+		},
+	})
+
+	register(App{
+		Name:  "blackscholes",
+		Suite: "PARSEC",
+		Mode:  prog.ModeMT,
+		About: "option pricing over per-thread option chunks: identical formula structure, private data — fetch-identical dominant",
+		Source: `
+; blackscholes kernel: each thread prices its own OPTS options; every load
+; address is thread-private, so the streams are fetch-identical but rarely
+; execute-identical (paper: 0-10% gain at 2 threads).
+        .equ  OPTS, 130
+        .equ  ROUNDS, 5
+        tid   r4
+        li    r5, OPTS*24
+        mul   r6, r4, r5
+        li    r7, opts
+        add   r7, r7, r6
+        li    r20, ROUNDS
+round:  li    r8, 0
+        mv    r9, r7
+oloop:  ld    r10, 0(r9)         ; spot (private)
+        ld    r11, 8(r9)         ; strike (private)
+        ld    r12, 16(r9)        ; vol (private)
+        fdiv  r13, r10, r11
+        fmul  r14, r12, r12
+        fadd  r15, r13, r14
+        fsqrt r16, r15
+        fmul  r17, r16, r10
+        fsub  r18, r17, r11
+        fadd  r21, r21, r18
+        addi  r9, r9, 24
+        addi  r8, r8, 1
+        slti  r22, r8, OPTS
+        bnez  r22, oloop
+        addi  r20, r20, -1
+        bnez  r20, round
+        halt
+        .data
+opts:   .space 4*OPTS*24
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "opts"), 4*130*3, 0xB5C0)
+		},
+	})
+
+	register(App{
+		Name:  "canneal",
+		Suite: "PARSEC",
+		Mode:  prog.ModeMT,
+		About: "random netlist element swaps with per-thread RNG: constant divergence and private pointer loads — the hardest case for MMT",
+		Source: `
+; canneal kernel: SWAPS random swap evaluations; the RNG is seeded by tid,
+; so accept/reject outcomes and the netlist slots touched differ per
+; thread nearly every iteration.
+        .equ  SWAPS, 1300
+        .equ  NETS, 128
+        tid   r4
+        addi  r5, r4, 9871       ; per-thread RNG state
+        li    r6, 6364136223846793005
+        li    r7, 1442695040888963407
+        li    r24, nets
+        li    r25, NETS*8
+        mul   r26, r4, r25
+        li    r27, moved
+        add   r27, r27, r26      ; private accepted-move table
+        li    r20, SWAPS
+swap:   mul   r5, r5, r6
+        add   r5, r5, r7
+        srli  r8, r5, 31
+        andi  r9, r8, NETS-1
+        slli  r10, r9, 3
+        add   r11, r24, r10
+        ld    r12, 0(r11)        ; net cost (random shared slot, read-only)
+; wide swap-cost evaluation
+        srli  r15, r12, 3
+        srli  r16, r12, 17
+        xor   r17, r15, r16
+        add   r18, r16, r8
+        and   r19, r15, r8
+        or    r28, r17, r18
+        andi  r13, r8, 1
+        beqz  r13, reject
+        add   r21, r21, r28      ; accept path
+        add   r14, r27, r10
+        st    r21, 0(r14)        ; record in this thread's table
+        j     nextsw
+reject: add   r22, r22, r19
+        addi  r22, r22, 1
+nextsw: addi  r20, r20, -1
+        bnez  r20, swap
+        halt
+        .data
+nets:   .space NETS*8
+moved:  .space 4*NETS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillWords(mem, sym(p, "nets"), 128, 0xCA22)
+		},
+	})
+}

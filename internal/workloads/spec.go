@@ -1,0 +1,524 @@
+package workloads
+
+import (
+	"math"
+
+	"mmt/internal/prog"
+)
+
+// The multi-execution workloads (paper Table 1: SPEC2000 + libsvm). Each
+// instance runs the same binary with slightly different inputs in its own
+// address space (prog.ModeME). The per-application redundancy profiles
+// follow the paper's Figs. 1, 2 and 5:
+//
+//	ammp, equake, mcf — large execute-identical fractions;
+//	equake also has long divergences and big register-merging gains.
+//	twolf, vpr — input-seeded annealing randomness: constant short
+//	divergences that defeat fetch tracking (low MERGE residency).
+//	vortex — data-dependent traversal lengths: long divergences.
+//	libsvm — shared model, per-instance query: mid exec-identical with a
+//	large untracked remainder.
+
+func init() {
+	register(App{
+		Name:  "ammp",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "molecular dynamics force loop; instances differ only in a small perturbed atom region, so most instructions are execute-identical",
+		Source: `
+; ammp kernel: STEPS sweeps over N shared atoms plus a small per-instance
+; perturbed set processed by its own loop (as the real application handles
+; the modified molecules in a separate phase). The shared sweep is fully
+; execute-identical; the perturbed loop diverges occasionally and its
+; loads learn to split via the LVIP without poisoning the hot loop's PCs.
+        .equ  N, 216
+        .equ  NPERT, 8
+        .equ  STEPS, 18
+        li    r26, N
+        li    r20, STEPS
+        li    r24, cutoff
+        ld    r24, 0(r24)        ; cutoff distance^2
+step:   li    r5, 0              ; atom index
+        li    r6, pos
+inner:  ld    r7, 0(r6)          ; x (identical data)
+        ld    r8, 8(r6)          ; y
+        fmul  r9, r7, r7
+        fmul  r10, r8, r8
+        fadd  r11, r9, r10       ; dist^2
+        flt   r13, r11, r24
+        beqz  r13, skip
+        fadd  r21, r21, r11      ; potential accumulation
+        fmul  r22, r11, r7
+        fadd  r23, r23, r22      ; force accumulation
+skip:   addi  r6, r6, 16
+        addi  r5, r5, 1
+        blt   r5, r26, inner
+; perturbed-molecule phase: per-instance data, separate load PCs
+        li    r5, 0
+        li    r6, pert
+ploop:  ld    r7, 0(r6)          ; x (per-instance)
+        ld    r8, 8(r6)
+        fmul  r9, r7, r7
+        fmul  r10, r8, r8
+        fadd  r11, r9, r10
+        flt   r13, r11, r24
+        beqz  r13, pskip
+        fadd  r21, r21, r11
+pskip:  addi  r6, r6, 16
+        addi  r5, r5, 1
+        slti  r14, r5, NPERT
+        bnez  r14, ploop
+; sweep epilogue: energy reduction and neighbor-list bookkeeping. This is
+; straight-line code with unique PCs, so a thread catching up after the
+; perturbed-phase divergence remerges here *aligned* - exactly how real
+; sweep epilogues behave.
+        fadd  r15, r21, r23
+        fmul  r16, r15, r15
+        fadd  r17, r16, r21
+        fsub  r18, r17, r23
+        li    r14, 7
+        slli  r19, r14, 3
+        xor   r12, r19, r14
+        add   r25, r19, r12
+        srli  r27, r25, 2
+        and   r28, r27, r19
+        or    r12, r28, r14
+        add   r25, r25, r12
+        slli  r27, r12, 1
+        sub   r28, r27, r14
+        xor   r12, r28, r25
+        add   r25, r25, r27
+        srli  r27, r25, 3
+        and   r28, r27, r12
+        or    r12, r28, r25
+        add   r25, r25, r28
+        slli  r27, r12, 2
+        sub   r28, r27, r25
+        xor   r12, r28, r27
+        add   r25, r25, r12
+        srli  r27, r25, 1
+        and   r28, r27, r12
+        or    r12, r28, r27
+        add   r25, r25, r28
+        slli  r27, r12, 1
+        sub   r28, r27, r12
+        xor   r12, r28, r25
+        add   r25, r25, r27
+        srli  r27, r25, 2
+        and   r28, r27, r12
+        or    r12, r28, r25
+        add   r25, r25, r28
+        addi  r20, r20, -1
+        bnez  r20, step
+        halt
+        .data
+cutoff: .double 0.05
+pos:    .space N*16
+pert:   .space NPERT*16
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			// Shared bulk: identical in every instance.
+			fillDoubles(mem, sym(p, "pos"), 2*216, 0xA111)
+			// Perturbed molecules: deterministic per-instance
+			// coordinates. Atoms 0..7 sit far outside the cutoff in
+			// every instance except atom 3, which is inside the cutoff
+			// for even instances only — exactly one divergence point
+			// per sweep.
+			pert := sym(p, "pert")
+			for k := 0; k < 8; k++ {
+				v := 0.5 + 0.04*float64(k) + 0.01*float64(ctx)
+				if k == 3 && !identical && ctx%2 == 0 {
+					v = 0.05
+				}
+				mem.Write64(pert+uint64(k)*16, math.Float64bits(v))
+				mem.Write64(pert+uint64(k)*16+8, math.Float64bits(v))
+			}
+		},
+	})
+
+	register(App{
+		Name:  "equake",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "sparse matrix-vector sweep plus a per-instance relaxation loop: long divergences whose results register-merge back together",
+		Source: `
+; equake kernel: BLOCKS blocks of RPB sparse rows with identical
+; structure. The first row of each block runs a per-instance relaxation
+; count (rare, long divergences - paper Fig. 2 shows equake's divergences
+; exceed 16 taken branches) and then recomputes the scale registers on the
+; still-divergent paths; register merging proves them identical and the
+; rest of the block reads them merged (Fig. 5b: Exe-Identical+RegMerge).
+; The per-block row counter is re-initialized with a merged write, which
+; bounds how long a mis-aligned remerge can persist.
+        .equ  BLOCKS, 8
+        .equ  RPB, 12
+        .equ  NNZ, 24
+        li    r26, BLOCKS
+        li    r27, NNZ
+        li    r4, relax
+        ld    r25, 0(r4)         ; per-instance relaxation count
+blocks: li    r5, 0              ; row within block
+rows:   li    r6, 0              ; nz index
+        li    r7, mat
+        li    r8, vec
+        li    r9, 0
+        fcvt  r9, r9             ; acc = 0.0
+nz:     ld    r10, 0(r7)         ; a[i][j] (identical data)
+        ld    r11, 0(r8)         ; x[j]
+        fmul  r12, r10, r11
+        fadd  r9, r9, r12
+        add   r28, r14, r15      ; scale factor: regmerge-recovered reads
+        addi  r7, r7, 8
+        addi  r8, r8, 8
+        addi  r6, r6, 1
+        blt   r6, r27, nz
+; relaxation: the block's first row runs a per-instance iteration count.
+        li    r13, 4
+        bnez  r5, relaxgo
+        mv    r13, r25           ; per-instance long relaxation
+relaxgo:
+        li    r18, 3
+relaxl: mul   r18, r18, r18
+        andi  r18, r18, 1023
+        addi  r18, r18, 7
+        addi  r13, r13, -1
+        bnez  r13, relaxl
+; scale recompute on the divergent row only.
+        bnez  r5, noscale
+        li    r14, 512
+        li    r15, 64
+noscale:
+        add   r16, r14, r15
+        add   r17, r16, r5
+        addi  r5, r5, 1
+        slti  r24, r5, RPB
+        bnez  r24, rows
+        addi  r26, r26, -1
+        bnez  r26, blocks
+        halt
+        .data
+relax:  .word 6
+mat:    .space NNZ*8
+vec:    .space NNZ*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			fillDoubles(mem, sym(p, "mat"), 24, 0xE001)
+			fillDoubles(mem, sym(p, "vec"), 24, 0xE002)
+			relax := uint64(6)
+			if !identical {
+				relax = 6 + uint64(ctx)*24 // 6 vs 30 vs 54 ... iterations
+			}
+			mem.Write64(sym(p, "relax"), relax)
+		},
+	})
+
+	register(App{
+		Name:  "mcf",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "network-simplex arc scan; arc costs are mostly identical with a perturbed tail, giving high execute-identical with occasional short divergences",
+		Source: `
+; mcf kernel: PASSES scans over ARCS shared arcs (reduced costs are biased
+; non-negative, so the pivot branch rarely fires and never diverges), then
+; a small per-instance arc list scanned by its own loop, where reduced-
+; cost signs differ across instances and divergence happens.
+        .equ  ARCS, 176
+        .equ  PARCS, 4
+        .equ  PASSES, 14
+        li    r26, ARCS
+        li    r20, PASSES
+pass:   li    r5, 0
+        li    r6, cost
+        li    r21, 0             ; pivots this pass
+scan:   ld    r7, 0(r6)          ; cost[i] (identical)
+        ld    r8, 8(r6)          ; flow[i] (identical)
+        sub   r9, r7, r8         ; reduced cost
+        slti  r10, r9, 0
+        beqz  r10, noimp
+        addi  r21, r21, 1        ; candidate found
+        add   r22, r22, r9
+        srai  r23, r9, 2
+        add   r24, r24, r23
+noimp:  addi  r6, r6, 16
+        addi  r5, r5, 1
+        blt   r5, r26, scan
+; per-instance arc list: separate load PCs, divergent pivots
+        li    r5, 0
+        li    r6, pcost
+pscan:  ld    r7, 0(r6)
+        ld    r8, 8(r6)
+        sub   r9, r7, r8
+        slti  r10, r9, 0
+        beqz  r10, pnoimp
+        addi  r21, r21, 1
+        add   r22, r22, r9
+pnoimp: addi  r6, r6, 16
+        addi  r5, r5, 1
+        slti  r11, r5, PARCS
+        bnez  r11, pscan
+        add   r28, r28, r21
+        addi  r20, r20, -1
+        bnez  r20, pass
+        halt
+        .data
+cost:   .space ARCS*16
+pcost:  .space PARCS*16
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			base := sym(p, "cost")
+			// Shared arcs: cost > flow, so the pivot branch is biased
+			// not-taken (real reduced costs are rarely negative).
+			// Shared arcs: ~20% negative reduced costs. Aligned threads
+			// branch identically (same data), so this causes no
+			// divergence by itself, but it re-diverges mis-aligned
+			// threads within a few arcs; alignment is the absorbing
+			// state, so the synchronizer heals quickly.
+			x := uint64(0x3C01)
+			for i := 0; i < 176; i++ {
+				x = lcg(x)
+				cost := x&0x7fff + 0x2f00
+				x = lcg(x)
+				flow := x & 0x7fff
+				mem.Write64(base+uint64(i)*16, cost)
+				mem.Write64(base+uint64(i)*16+8, flow)
+			}
+			// Per-instance arcs: still biased toward non-negative
+			// reduced costs, so pivot signs differ across instances
+			// only occasionally (divergence is rare but real).
+			pbase := sym(p, "pcost")
+			y := uint64(0x3D00)
+			if !identical {
+				y += uint64(ctx)
+			}
+			for k := 0; k < 4; k++ {
+				y = lcg(y)
+				mem.Write64(pbase+uint64(k)*16, y&0x1fff+0x12c0)
+				y = lcg(y)
+				mem.Write64(pbase+uint64(k)*16+8, y>>16&0x1fff)
+			}
+		},
+	})
+
+	register(App{
+		Name:  "twolf",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "simulated-annealing accept/reject driven by an input-seeded RNG: instances diverge briefly on almost every move, defeating MERGE tracking",
+		Source: `
+; twolf kernel: MOVES annealing steps; each step draws from a linear
+; congruential generator seeded from the input, and the accept/reject
+; branch takes per-instance directions. Divergent paths are only a few
+; instructions long, so the profile is fetch-identical-rich but MERGE
+; residency is poor (paper Fig. 5d).
+        .equ  MOVES, 1700
+        li    r4, seed
+        ld    r5, 0(r4)          ; per-instance RNG state
+        li    r6, 6364136223846793005
+        li    r7, 1442695040888963407
+        li    r20, MOVES
+move:   mul   r5, r5, r6         ; LCG step (differs per instance)
+        add   r5, r5, r7
+        srli  r8, r5, 33
+; wide move-cost evaluation: plenty of independent ALU work per move, so
+; the baseline SMT contends for issue and fetch bandwidth
+        srli  r10, r8, 7
+        srli  r11, r8, 13
+        srli  r12, r8, 21
+        xor   r13, r10, r11
+        add   r14, r11, r12
+        and   r15, r10, r12
+        or    r16, r13, r14
+        sub   r17, r14, r15
+        add   r18, r16, r17
+        xor   r19, r18, r8
+        andi  r9, r8, 3
+        beqz  r9, reject
+accept: add   r21, r21, r19      ; apply move
+        xor   r22, r22, r18
+        j     next
+reject: addi  r23, r23, 1        ; bookkeeping
+next:   addi  r20, r20, -1
+        bnez  r20, move
+        halt
+        .data
+seed:   .word 12345
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			s := uint64(12345)
+			if !identical {
+				s += uint64(ctx) * 7919
+			}
+			mem.Write64(sym(p, "seed"), s)
+		},
+	})
+
+	register(App{
+		Name:  "vpr",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "routing-cost moves with RNG-chosen table lookups: short constant divergence plus split loads at per-instance addresses",
+		Source: `
+; vpr kernel: like twolf's annealing but each move also loads a routing
+; cost from an RNG-dependent table slot, so even the merged stretches
+; carry split loads.
+        .equ  MOVES, 1300
+        .equ  TSIZE, 128
+        li    r4, seed
+        ld    r5, 0(r4)
+        li    r6, 6364136223846793005
+        li    r7, 1442695040888963407
+        li    r20, MOVES
+        li    r24, table
+move:   mul   r5, r5, r6
+        add   r5, r5, r7
+        srli  r8, r5, 30
+        andi  r9, r8, TSIZE-1
+        slli  r10, r9, 3
+        add   r11, r24, r10
+        ld    r12, 0(r11)        ; cost[rnd] - address differs per instance
+; wide congestion-cost evaluation on the looked-up value
+        srli  r14, r12, 5
+        srli  r15, r12, 11
+        xor   r16, r14, r15
+        add   r17, r15, r8
+        and   r18, r14, r8
+        or    r19, r16, r17
+        sub   r25, r17, r18
+        add   r26, r19, r25
+        andi  r13, r8, 1
+        beqz  r13, skipw
+        add   r21, r21, r26
+        sub   r22, r22, r9
+skipw:  addi  r23, r23, 1
+        addi  r20, r20, -1
+        bnez  r20, move
+        halt
+        .data
+seed:   .word 777
+table:  .space TSIZE*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			fillWords(mem, sym(p, "table"), 128, 0x7A01)
+			s := uint64(777)
+			if !identical {
+				s += uint64(ctx) * 104729
+			}
+			mem.Write64(sym(p, "seed"), s)
+		},
+	})
+
+	register(App{
+		Name:  "vortex",
+		Suite: "SPEC2000",
+		Mode:  prog.ModeME,
+		About: "database lookups chasing a linked chain whose length depends on the per-instance key: long divergences (paper Fig. 2)",
+		Source: `
+; vortex kernel: LOOKUPS queries; each walks a hash chain until the key
+; matches. Chain-walk lengths differ per instance (keys differ), so
+; divergent regions span many taken branches before re-joining at the
+; bookkeeping tail.
+        .equ  LOOKUPS, 240
+        .equ  CHAIN, 64
+        li    r4, keys
+        ld    r25, 0(r4)         ; per-instance key stride
+        li    r20, LOOKUPS
+        li    r24, nodes
+look:   mv    r6, r24            ; node = head
+        li    r7, 0              ; depth
+        mul   r8, r20, r25
+        andi  r8, r8, CHAIN-1    ; target depth for this key
+walk:   ld    r9, 0(r6)          ; node.key
+        ld    r10, 8(r6)         ; node.next offset
+; key-compare and hash bookkeeping per node (wide, independent)
+        xor   r11, r9, r10
+        srli  r12, r9, 9
+        add   r13, r11, r12
+        and   r14, r9, r10
+        or    r15, r13, r14
+        sub   r16, r13, r12
+        addi  r6, r6, 16
+        addi  r7, r7, 1
+        blt   r7, r8, walk
+; found: identical bookkeeping tail
+        add   r21, r21, r15
+        xor   r22, r22, r16
+        addi  r23, r23, 1
+        addi  r20, r20, -1
+        bnez  r20, look
+        halt
+        .data
+keys:   .word 5
+nodes:  .space CHAIN*16
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			fillWords(mem, sym(p, "nodes"), 128, 0xD001)
+			stride := uint64(5)
+			if !identical {
+				stride = 5 + uint64(ctx)*14 // very different chain depths
+			}
+			mem.Write64(sym(p, "keys"), stride)
+		},
+	})
+
+	register(App{
+		Name:  "libsvm",
+		Suite: "SVM",
+		Mode:  prog.ModeME,
+		About: "SVM kernel evaluations over a shared model with a per-instance query vector: mid execute-identical with a large untracked remainder",
+		Source: `
+; libsvm kernel: for each of SVS support vectors compute a dot product
+; with the query vector (DIM features), scale by alpha, and branch on the
+; partial decision value. The model (support vectors, alphas) is identical
+; across instances; the query differs, so the dot-product multiplies are
+; split while model loads stay execute-identical.
+        .equ  SVS, 56
+        .equ  DIM, 16
+        li    r26, SVS
+        li    r27, DIM
+        li    r5, 0              ; sv index
+        li    r21, 0
+        fcvt  r21, r21           ; decision value
+svloop: li    r6, 0
+        li    r7, model
+        li    r8, query
+        li    r9, 0
+        fcvt  r9, r9             ; dot = 0.0
+dot:    ld    r10, 0(r7)         ; model weight (identical)
+        ld    r11, 0(r8)         ; query feature (differs)
+        fmul  r12, r10, r11
+        fadd  r9, r9, r12
+        addi  r7, r7, 8
+        addi  r8, r8, 8
+        addi  r6, r6, 1
+        blt   r6, r27, dot
+        li    r13, alphas
+        slli  r14, r5, 3
+        add   r13, r13, r14
+        ld    r15, 0(r13)        ; alpha[sv] (identical)
+        fmul  r16, r9, r15
+        fadd  r21, r21, r16
+        li    r17, margin
+        ld    r17, 0(r17)
+        flt   r18, r21, r17      ; early-margin branch: can diverge
+        beqz  r18, noclip
+        fadd  r22, r22, r16
+noclip: addi  r5, r5, 1
+        blt   r5, r26, svloop
+        halt
+        .data
+margin: .double 1.25
+model:  .space DIM*8
+query:  .space DIM*8
+alphas: .space SVS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			fillDoubles(mem, sym(p, "model"), 16, 0x5301)
+			fillDoubles(mem, sym(p, "alphas"), 56, 0x5302)
+			seed := uint64(0x5400)
+			if !identical {
+				seed += uint64(ctx)
+			}
+			fillDoubles(mem, sym(p, "query"), 16, seed)
+		},
+	})
+}

@@ -1,0 +1,377 @@
+package workloads
+
+import (
+	"mmt/internal/prog"
+)
+
+// SPLASH-2 multi-threaded workloads (shared memory, prog.ModeMT). Threads
+// start with identical registers except the stack pointer and obtain their
+// identity with tid; per-thread partition addresses therefore carry split
+// register mappings, while shared-data loads (same address, same space)
+// stay execute-identical. Control flow driven by shared loop counters
+// keeps the threads fetch-identical; data-dependent branches on private
+// values introduce the divergences the paper observes.
+
+func init() {
+	register(App{
+		Name:  "lu",
+		Suite: "SPLASH-2",
+		Mode:  prog.ModeMT,
+		About: "blocked LU elimination over per-thread row blocks: shared loop control, private data — mostly fetch-identical, little execute-identical",
+		Source: `
+; lu kernel: each thread eliminates its own block of ROWSPT rows against a
+; shared pivot row. The pivot loads are shared (execute-identical); the
+; row updates touch per-thread addresses (split).
+        .equ  ROWSPT, 20
+        .equ  COLS, 24
+        .equ  SWEEPS, 4
+        tid   r4
+        li    r5, ROWSPT*COLS*8
+        mul   r6, r4, r5
+        li    r7, matrix
+        add   r7, r7, r6         ; this thread's block
+        li    r20, SWEEPS
+sweep:  li    r8, 0              ; row in block
+rloop:  li    r9, 0              ; col
+        mv    r10, r7
+        li    r11, pivot
+cloop:  ld    r12, 0(r11)        ; pivot[j]   (shared: exec-identical)
+        ld    r13, 0(r10)        ; a[i][j]    (private: split)
+        fmul  r14, r12, r13
+        fsub  r15, r13, r14
+        st    r15, 0(r10)
+        addi  r10, r10, 8
+        addi  r11, r11, 8
+        addi  r9, r9, 1
+        slti  r16, r9, COLS
+        bnez  r16, cloop
+        li    r17, COLS*8
+        add   r7, r7, r17
+        addi  r8, r8, 1
+        slti  r16, r8, ROWSPT
+        bnez  r16, rloop
+        li    r18, ROWSPT*COLS*8
+        sub   r7, r7, r5         ; rewind to block start
+        addi  r20, r20, -1
+        bnez  r20, sweep
+        halt
+        .data
+pivot:  .space COLS*8
+matrix: .space 4*ROWSPT*COLS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return // shared image: seed once
+			}
+			fillDoubles(mem, sym(p, "pivot"), 24, 0x1001)
+			fillDoubles(mem, sym(p, "matrix"), 4*20*24, 0x1002)
+		},
+	})
+
+	register(App{
+		Name:  "fft",
+		Suite: "SPLASH-2",
+		Mode:  prog.ModeMT,
+		About: "butterfly stages over per-thread signal partitions with shared twiddle factors",
+		Source: `
+; fft kernel: STAGES butterfly passes; twiddle factors are shared loads,
+; signal data is per-thread.
+        .equ  PTS, 128
+        .equ  STAGES, 16
+        tid   r4
+        li    r5, PTS*8
+        mul   r6, r4, r5
+        li    r7, signal
+        add   r7, r7, r6
+        li    r20, STAGES
+; one-time scaling setup: threads take parity-dependent paths (the real
+; code assigns bit-reversal bookkeeping by thread id) but compute the same
+; constants - register merging re-unifies them, and every butterfly of
+; every stage then reads them merged (Fig. 5b: Exe-Identical+RegMerge).
+        andi  r21, r4, 1
+        beqz  r21, sceven
+        li    r18, 9             ; odd-thread path
+        li    r19, 3
+        j     scdone
+sceven: li    r18, 9             ; even-thread path: same values
+        li    r19, 3
+scdone:
+; bit-reversal table setup: a long straight-line stretch with unique PCs,
+; where the parity-divergent threads remerge aligned.
+        li    r21, 5
+        slli  r22, r21, 2
+        xor   r23, r22, r21
+        add   r25, r22, r23
+        srli  r26, r25, 1
+        and   r28, r26, r22
+        or    r23, r28, r21
+        add   r25, r25, r23
+        slli  r26, r23, 1
+        sub   r28, r26, r21
+        xor   r23, r28, r25
+        add   r25, r25, r26
+        srli  r26, r25, 3
+        and   r28, r26, r23
+        or    r23, r28, r25
+        add   r25, r25, r28
+        slli  r26, r23, 2
+        sub   r28, r26, r25
+        xor   r23, r28, r26
+        add   r25, r25, r23
+        srli  r26, r25, 1
+        and   r28, r26, r23
+        or    r23, r28, r26
+        add   r25, r25, r28
+        slli  r26, r23, 1
+        sub   r28, r26, r23
+        xor   r23, r28, r25
+        add   r25, r25, r26
+        srli  r26, r25, 2
+        and   r28, r26, r23
+        or    r23, r28, r25
+        add   r25, r25, r28
+        xor   r23, r25, r28
+        add   r25, r25, r23
+        srli  r26, r25, 2
+        and   r28, r26, r23
+        or    r23, r28, r25
+        add   r25, r25, r28
+stage:  li    r8, 0
+        mv    r9, r7
+        li    r10, twiddle
+bfly:   ld    r11, 0(r10)        ; twiddle (shared)
+        ld    r12, 0(r9)         ; a (private)
+        ld    r13, 8(r9)         ; b (private)
+        fmul  r14, r13, r11
+        fadd  r15, r12, r14
+        fsub  r16, r12, r14
+        st    r15, 0(r9)
+        st    r16, 8(r9)
+        add   r24, r18, r19      ; stage-scale reads (regmerge-recovered)
+        addi  r9, r9, 16
+        addi  r10, r10, 8
+        addi  r8, r8, 2
+        slti  r17, r8, PTS
+        bnez  r17, bfly
+        addi  r20, r20, -1
+        bnez  r20, stage
+        halt
+        .data
+twiddle: .space PTS*4
+signal:  .space 4*PTS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "twiddle"), 64, 0xFF01)
+			fillDoubles(mem, sym(p, "signal"), 4*128, 0xFF02)
+		},
+	})
+
+	register(App{
+		Name:  "ocean",
+		Suite: "SPLASH-2",
+		Mode:  prog.ModeMT,
+		About: "red-black stencil relaxation on per-thread grid slabs with a private convergence check: occasional short divergences",
+		Source: `
+; ocean kernel: ITERS relaxation sweeps over a private slab; every sweep
+; ends with a convergence branch on the thread's own residual, which
+; diverges occasionally.
+        .equ  SLAB, 180
+        .equ  ITERS, 22
+        tid   r4
+        li    r5, SLAB*8
+        mul   r6, r4, r5
+        li    r7, grid
+        add   r7, r7, r6
+        li    r20, ITERS
+iter:   li    r8, 1
+        mv    r9, r7
+        li    r21, 0
+        fcvt  r21, r21           ; residual = 0.0
+cell:   ld    r10, 0(r9)
+        ld    r11, 8(r9)
+        ld    r12, 16(r9)
+        fadd  r13, r10, r12
+        fmul  r14, r13, r11
+        fsub  r15, r14, r11
+        fabs  r16, r15
+        fadd  r21, r21, r16
+        st    r14, 8(r9)
+        addi  r9, r9, 8
+        addi  r8, r8, 1
+        slti  r17, r8, SLAB-1
+        bnez  r17, cell
+; private convergence check: diverges when slabs differ in roughness
+        li    r18, thresh
+        ld    r18, 0(r18)
+        flt   r19, r21, r18
+        beqz  r19, noted
+        addi  r22, r22, 1        ; converged-sweep bookkeeping
+        add   r23, r23, r8
+noted:  addi  r20, r20, -1
+        bnez  r20, iter
+        halt
+        .data
+thresh: .double 44.5
+grid:   .space 4*SLAB*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "grid"), 4*180, 0x0CEA)
+		},
+	})
+
+	register(App{
+		Name:  "water-ns",
+		Suite: "SPLASH-2",
+		Mode:  prog.ModeMT,
+		About: "O(n^2) molecular interactions over shared positions: heavy execute-identical load/compute with private force accumulation",
+		Source: `
+; water-nsquared kernel: every thread walks all molecule pairs reading the
+; shared position array (execute-identical loads and force math), then
+; stores into its own force slab (split stores only).
+        .equ  MOLS, 40
+        .equ  TSTEPS, 6
+        tid   r4
+        li    r5, MOLS*8
+        mul   r6, r4, r5
+        li    r7, forces
+        add   r7, r7, r6         ; private force slab
+        li    r20, TSTEPS
+tstep:
+; boundary-molecule bookkeeping is assigned by thread parity: a short
+; deterministic divergence whose results are value-identical, recovered
+; by register merging for the whole timestep.
+        andi  r24, r4, 1
+        beqz  r24, weven
+        li    r25, 5             ; odd-thread path
+        j     wsc
+weven:  nop
+        li    r25, 5             ; even-thread path: same value
+wsc:    li    r8, 0              ; i
+iloop:  li    r9, 0              ; j
+        li    r10, mol
+        slli  r11, r8, 3
+        add   r11, r10, r11
+        ld    r12, 0(r11)        ; pos[i] (shared)
+jloop:  slli  r13, r9, 3
+        add   r13, r10, r13
+        ld    r14, 0(r13)        ; pos[j] (shared)
+        fsub  r15, r12, r14
+        fmul  r16, r15, r15
+        ld    r17, cut
+        flt   r18, r16, r17
+        beqz  r18, far
+        fmul  r19, r16, r15
+        fadd  r21, r21, r19      ; shared-value accumulation
+        add   r27, r25, r25      ; timestep-scale reads (regmerge-recovered)
+; per-thread virial bookkeeping (split work)
+        xor   r26, r26, r4
+        add   r28, r28, r26
+far:    addi  r9, r9, 1
+        slti  r22, r9, MOLS
+        bnez  r22, jloop
+; private force store for molecule i
+        slli  r23, r8, 3
+        add   r23, r7, r23
+        st    r21, 0(r23)
+        addi  r8, r8, 1
+        slti  r22, r8, MOLS
+        bnez  r22, iloop
+        addi  r20, r20, -1
+        bnez  r20, tstep
+        halt
+        .data
+cut:    .double 0.95
+mol:    .space MOLS*8
+forces: .space 4*MOLS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			fillDoubles(mem, sym(p, "mol"), 40, 0x3A7E)
+		},
+	})
+
+	register(App{
+		Name:  "water-sp",
+		Suite: "SPLASH-2",
+		Mode:  prog.ModeMT,
+		About: "cell-list molecular dynamics where per-thread cell occupancy differs: medium-length divergences that stress CATCHUP (regresses at large FHBs)",
+		Source: `
+; water-spatial kernel: threads process cells; each cell's molecule count
+; comes from the thread's own cell table, so the inner-loop trip count
+; differs per thread - repeated medium-length divergences.
+        .equ  CELLS, 60
+        .equ  TSTEPS, 5
+        tid   r4
+        li    r5, CELLS*8
+        mul   r6, r4, r5
+        li    r7, counts
+        add   r7, r7, r6         ; private cell-occupancy table
+        li    r26, TSTEPS
+tstep:  li    r8, 0              ; cell index
+        li    r28, acc
+        add   r28, r28, r6       ; private per-cell results
+cellL:  slli  r9, r8, 3
+        add   r10, r7, r9
+        ld    r11, 0(r10)        ; occupancy (mostly equal across threads)
+        andi  r11, r11, 15
+        addi  r11, r11, 2
+        li    r21, 0
+        fcvt  r21, r21           ; per-cell accumulator (merged reinit)
+molL:   ld    r12, shared        ; shared constants
+        ld    r13, shared+8
+        fmul  r14, r12, r13
+        fadd  r15, r14, r12
+        fadd  r21, r21, r15
+        addi  r11, r11, -1
+        bnez  r11, molL
+; store this cell's result privately, identical bookkeeping
+        add   r24, r28, r9
+        st    r21, 0(r24)
+        addi  r22, r22, 3
+        xor   r23, r23, r8
+        addi  r8, r8, 1
+        slti  r16, r8, CELLS
+        bnez  r16, cellL
+        addi  r26, r26, -1
+        bnez  r26, tstep
+        halt
+        .data
+shared: .double 1.5, 2.25
+counts: .space 4*CELLS*8
+acc:    .space 4*CELLS*8
+`,
+		Init: func(p *prog.Program, ctx int, mem *prog.Memory, identical bool) {
+			if ctx != 0 {
+				return
+			}
+			base := sym(p, "counts")
+			// Most cells have the same occupancy in every thread's
+			// table; every eighth cell differs per thread, giving the
+			// repeated medium divergences the paper attributes to
+			// water-spatial.
+			// Occupancies are equal across threads except a run of
+			// cells near the end of each sweep; a late divergence
+			// leaves most of the sweep merged (the sweep boundary
+			// re-unifies the loop registers).
+			x := uint64(0x5A7E)
+			for cell := 0; cell < 60; cell++ {
+				x = lcg(x)
+				for th := uint64(0); th < 4; th++ {
+					v := x
+					if cell >= 52 {
+						v = lcg(x + th*977)
+					}
+					mem.Write64(base+(th*60+uint64(cell))*8, v)
+				}
+			}
+		},
+	})
+}

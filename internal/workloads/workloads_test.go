@@ -1,0 +1,285 @@
+package workloads
+
+import (
+	"testing"
+
+	"mmt/internal/core"
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	apps := All()
+	if len(apps) != 16 {
+		t.Fatalf("registered %d apps, want 16", len(apps))
+	}
+	for i, name := range Names() {
+		if apps[i].Name != name {
+			t.Errorf("app %d = %s, want %s (paper order)", i, apps[i].Name, name)
+		}
+	}
+	me, mt := 0, 0
+	for _, a := range apps {
+		switch a.Mode {
+		case prog.ModeME:
+			me++
+		case prog.ModeMT:
+			mt++
+		}
+		if a.About == "" || a.Suite == "" {
+			t.Errorf("%s missing metadata", a.Name)
+		}
+	}
+	if me != 7 || mt != 9 {
+		t.Errorf("mode split ME=%d MT=%d, want 7/9", me, mt)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("ammp"); !ok {
+		t.Error("ammp not found")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Error("unknown app found")
+	}
+}
+
+// TestAllAppsRunFunctionally assembles and functionally executes every
+// application with 2 contexts, checking that each halts in a sane
+// instruction budget.
+func TestAllAppsRunFunctionally(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			sys, err := a.Build(2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.RunFunctional(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			for _, ctx := range sys.Contexts {
+				if ctx.DynCount < 5_000 {
+					t.Errorf("ctx %d ran only %d instructions — kernel too small to measure", ctx.ID, ctx.DynCount)
+				}
+				if ctx.DynCount > 1_000_000 {
+					t.Errorf("ctx %d ran %d instructions — kernel too big for the harness", ctx.ID, ctx.DynCount)
+				}
+			}
+		})
+	}
+}
+
+// TestAllAppsOnCore runs every application through the full MMT core at 2
+// threads and cross-checks committed counts against the functional oracle.
+func TestAllAppsOnCore(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			sys, err := a.Build(2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(2)
+			cfg.MaxCycles = 20_000_000
+			c, err := core.New(cfg, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref, err := a.Build(2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.RunFunctional(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			for i, ctx := range ref.Contexts {
+				if st.Committed[i] != ctx.DynCount {
+					t.Errorf("thread %d committed %d, oracle %d", i, st.Committed[i], ctx.DynCount)
+				}
+				for r := 0; r < isa.NumRegs; r++ {
+					if got, want := c.CommittedReg(i, uint8(r)), ctx.State.Reg[r]; got != want {
+						t.Fatalf("thread %d reg %d: %#x vs oracle %#x", i, r, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppsOnBaseAndFourThreads exercises the remaining config space at a
+// smaller sample: base SMT at 2 threads and full MMT at 4 threads.
+func TestAppsOnBaseAndFourThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, mode := range []string{"base2", "mmt4"} {
+				var cfg core.Config
+				var n int
+				if mode == "base2" {
+					n = 2
+					cfg = core.DefaultConfig(2)
+					cfg.SharedFetch, cfg.SharedExec, cfg.RegMerge = false, false, false
+				} else {
+					n = 4
+					cfg = core.DefaultConfig(4)
+				}
+				cfg.MaxCycles = 40_000_000
+				sys, err := a.Build(n, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := core.New(cfg, sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.Run(); err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+// TestIdenticalInputsLimit verifies that the Limit setup (identical
+// inputs) makes multi-execution instances behave identically.
+func TestIdenticalInputsLimit(t *testing.T) {
+	for _, name := range []string{"twolf", "vortex", "equake"} {
+		a, _ := ByName(name)
+		sys, err := a.Build(2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunFunctional(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		c0, c1 := sys.Contexts[0], sys.Contexts[1]
+		if c0.DynCount != c1.DynCount {
+			t.Errorf("%s: identical inputs ran %d vs %d instructions", name, c0.DynCount, c1.DynCount)
+		}
+	}
+}
+
+// TestProfileCharacteristics spot-checks that key applications exhibit the
+// redundancy profile the paper reports (Fig. 1 / Fig. 5 shape).
+func TestProfileCharacteristics(t *testing.T) {
+	run := func(name string) *core.Stats {
+		a, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		sys, err := a.Build(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.MaxCycles = 20_000_000
+		c, err := core.New(cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// ammp: execute-identical dominant.
+	st := run("ammp")
+	ei, eir, _, _ := st.IdenticalFractions()
+	if ei+eir < 0.5 {
+		t.Errorf("ammp exec-identical = %.2f, want > 0.5", ei+eir)
+	}
+
+	// twolf: constant short divergences — low MERGE residency.
+	st = run("twolf")
+	merge, _, _ := st.FetchModeFractions()
+	if merge > 0.6 {
+		t.Errorf("twolf MERGE residency = %.2f, want low", merge)
+	}
+	if st.Divergences < 100 {
+		t.Errorf("twolf divergences = %d, want frequent", st.Divergences)
+	}
+
+	// blackscholes: fetch-identical but not execute-identical.
+	st = run("blackscholes")
+	ei, eir, fi, _ := st.IdenticalFractions()
+	if fi < 0.3 {
+		t.Errorf("blackscholes fetch-identical-only = %.2f, want dominant", fi)
+	}
+	if ei+eir > fi {
+		t.Errorf("blackscholes exec-identical %.2f exceeds fetch-identical %.2f", ei+eir, fi)
+	}
+
+	// water-ns: shared-memory loads make it execute-identical-heavy.
+	st = run("water-ns")
+	ei, eir, _, _ = st.IdenticalFractions()
+	if ei+eir < 0.4 {
+		t.Errorf("water-ns exec-identical = %.2f, want > 0.4", ei+eir)
+	}
+
+	// equake: long divergences must appear in the remerge histogram.
+	st = run("equake")
+	if st.Remerges == 0 {
+		t.Error("equake never remerged")
+	}
+	var beyond16 uint64
+	for i, c := range st.RemergeDistance {
+		if i >= 1 {
+			beyond16 += c
+		}
+	}
+	if beyond16 == 0 {
+		t.Error("equake has no divergences longer than 16 taken branches")
+	}
+}
+
+func TestOverrideRebindsConstants(t *testing.T) {
+	a, _ := ByName("twolf")
+	small := a.Override(map[string]int64{"MOVES": 40})
+	sys, err := small.Build(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunFunctional(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	big, err := a.Build(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.RunFunctional(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Contexts[0].DynCount >= big.Contexts[0].DynCount {
+		t.Errorf("override did not shrink the run: %d vs %d",
+			sys.Contexts[0].DynCount, big.Contexts[0].DynCount)
+	}
+}
+
+func TestOverrideUnknownConstantFailsAtBuild(t *testing.T) {
+	a, _ := ByName("twolf")
+	bad := a.Override(map[string]int64{"NOPE": 1})
+	if _, err := bad.Build(2, false); err == nil {
+		t.Error("unknown constant override built successfully")
+	}
+}
+
+func TestOverrideDoesNotMutateRegistry(t *testing.T) {
+	a, _ := ByName("twolf")
+	src := a.Source
+	_ = a.Override(map[string]int64{"MOVES": 1})
+	b, _ := ByName("twolf")
+	if b.Source != src {
+		t.Error("Override mutated the registered app")
+	}
+}
