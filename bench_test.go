@@ -24,7 +24,7 @@ const profileInsts = 1_000_000
 
 func BenchmarkFig1_InstructionSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure1(workloads.All(), profileInsts)
+		rows, err := sim.Figure1(sim.NewSerial(), workloads.All(), profileInsts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func BenchmarkFig1_InstructionSharing(b *testing.B) {
 
 func BenchmarkFig2_DivergenceLengths(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure2(workloads.All(), profileInsts)
+		rows, err := sim.Figure2(sim.NewSerial(), workloads.All(), profileInsts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func BenchmarkTable3_HardwareCost(b *testing.B) {
 
 func benchSpeedups(b *testing.B, threads int) {
 	for i := 0; i < b.N; i++ {
-		_, gm, err := sim.Figure5Speedups(workloads.All(), threads)
+		_, gm, err := sim.Figure5Speedups(sim.NewSerial(), workloads.All(), threads)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func BenchmarkFig5c_Speedup4T(b *testing.B) { benchSpeedups(b, 4) }
 
 func BenchmarkFig5b_IdenticalIdentified(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure5b(workloads.All(), 2)
+		rows, err := sim.Figure5b(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func BenchmarkFig5b_IdenticalIdentified(b *testing.B) {
 
 func BenchmarkFig5d_FetchModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure5d(workloads.All(), 2)
+		rows, err := sim.Figure5d(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func BenchmarkFig5d_FetchModes(b *testing.B) {
 
 func BenchmarkFig6_Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure6(workloads.All())
+		rows, err := sim.Figure6(sim.NewSerial(), workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func BenchmarkFig6_Energy(b *testing.B) {
 
 func BenchmarkFig7a_FHBSizePerformance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure7a(workloads.All(), 2)
+		rows, err := sim.Figure7a(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkFig7a_FHBSizePerformance(b *testing.B) {
 
 func BenchmarkFig7b_LSPorts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sp, err := sim.Figure7b(workloads.All(), 2)
+		sp, err := sim.Figure7b(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func BenchmarkFig7b_LSPorts(b *testing.B) {
 
 func BenchmarkFig7c_FHBSizeModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Figure7c(workloads.All(), 2)
+		rows, err := sim.Figure7c(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func BenchmarkFig7c_FHBSizeModes(b *testing.B) {
 
 func BenchmarkFig7d_FetchWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sp, err := sim.Figure7d(workloads.All(), 2)
+		sp, err := sim.Figure7d(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func BenchmarkFig7d_FetchWidth(b *testing.B) {
 
 func BenchmarkSec63_RemergeDistance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m, err := sim.RemergeWithin512(workloads.All(), 2)
+		m, err := sim.RemergeWithin512(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +227,7 @@ func BenchmarkCoreThroughput(b *testing.B) {
 
 func BenchmarkExtMP_MessagePassing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.ExtensionMP()
+		rows, err := sim.ExtensionMP(sim.NewSerial())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func BenchmarkExtMP_MessagePassing(b *testing.B) {
 
 func BenchmarkAblationSyncPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, gms, err := sim.AblationSyncPolicy(workloads.All(), 2)
+		_, gms, err := sim.AblationSyncPolicy(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func BenchmarkAblationSyncPolicy(b *testing.B) {
 
 func BenchmarkAblationLVIP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, gms, err := sim.AblationLVIP(workloads.All(), 2)
+		_, gms, err := sim.AblationLVIP(sim.NewSerial(), workloads.All(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -265,7 +265,7 @@ func BenchmarkAblationLVIP(b *testing.B) {
 
 func BenchmarkExtCoschedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.ExtensionCoschedule()
+		rows, err := sim.ExtensionCoschedule(sim.NewSerial())
 		if err != nil {
 			b.Fatal(err)
 		}

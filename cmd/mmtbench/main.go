@@ -2,12 +2,20 @@
 // evaluation (§6), the extension studies, and the ablations, printing them
 // in order. With -out it also writes the report to a file.
 //
+// Simulations run through the internal/runner scheduler: -j workers in
+// parallel (default: all CPUs), deduplicated by content-addressed job keys
+// and optionally cached on disk across runs with -cache-dir. The report on
+// stdout is byte-identical for any -j; progress and the scheduler summary
+// go to stderr. Ctrl-C cancels the batch.
+//
 // Usage:
 //
 //	mmtbench                     # everything (several minutes)
 //	mmtbench -only fig5a         # one artifact
 //	mmtbench -only mp,ablations  # extensions
 //	mmtbench -out report.txt
+//	mmtbench -j 4 -cache-dir ~/.cache/mmt   # parallel + warm restarts
+//	mmtbench -timeout 5m -retries 1         # bound and retry stuck jobs
 package main
 
 import (

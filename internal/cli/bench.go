@@ -1,13 +1,18 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"mmt/internal/core"
+	"mmt/internal/runner"
 	"mmt/internal/sim"
 	"mmt/internal/workloads"
 )
@@ -20,40 +25,31 @@ var Artifacts = []string{
 }
 
 // RunBench is the mmtbench command: regenerate the evaluation artifacts.
+// Artifact output goes to stdout; live progress and the runner summary go
+// to stderr, so the report is byte-identical for any -j.
 func RunBench(args []string, stdout io.Writer) error {
-	sim.EnableMemo()
+	_, err := runBench(args, stdout, os.Stderr)
+	return err
+}
+
+// runBench is RunBench with the progress stream and the runner summary
+// exposed for tests.
+func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error) {
 	fs := flag.NewFlagSet("mmtbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		only    = fs.String("only", "", "comma-separated artifact list: "+strings.Join(Artifacts, ","))
-		outFile = fs.String("out", "", "also write the report to this file")
+		only     = fs.String("only", "", "comma-separated artifact list: "+strings.Join(Artifacts, ","))
+		outFile  = fs.String("out", "", "also write the report to this file")
+		jobs     = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
+		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock timeout (0 = none)")
+		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return runner.Summary{}, err
 	}
 
-	var w io.Writer = stdout
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = io.MultiWriter(stdout, f)
-	}
-
-	want := func(name string) bool {
-		if *only == "" {
-			return true
-		}
-		for _, s := range strings.Split(*only, ",") {
-			if strings.TrimSpace(s) == name {
-				return true
-			}
-		}
-		return false
-	}
-	// Validate requested names.
+	// Validate requested artifact names.
 	if *only != "" {
 		valid := map[string]bool{}
 		for _, a := range Artifacts {
@@ -61,9 +57,65 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		for _, s := range strings.Split(*only, ",") {
 			if s = strings.TrimSpace(s); !valid[s] {
-				return fmt.Errorf("unknown artifact %q (valid: %s)", s, strings.Join(Artifacts, ","))
+				return runner.Summary{}, fmt.Errorf("unknown artifact %q (valid: %s)", s, strings.Join(Artifacts, ","))
 			}
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool, err := runner.New(ctx, runner.Options{
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Progress: progress,
+	})
+	if err != nil {
+		return runner.Summary{}, err
+	}
+
+	err = writeReport(pool, stdout, *only, *outFile)
+	pool.Close()
+	s := pool.Summary()
+	if progress != nil && s.Jobs > 0 {
+		fmt.Fprint(progress, s.Format())
+	}
+	return s, err
+}
+
+// writeReport renders the requested artifacts through the executor. The
+// returned error includes any failure to flush or close the -out file —
+// a silently truncated report would otherwise look like a clean run.
+func writeReport(ex sim.Exec, stdout io.Writer, only, outFile string) (err error) {
+	var w io.Writer = stdout
+	if outFile != "" {
+		f, cerr := os.Create(outFile)
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing %s: %w", outFile, cerr)
+			}
+		}()
+		w = io.MultiWriter(stdout, f)
+	}
+	return renderArtifacts(ex, w, only)
+}
+
+// renderArtifacts runs every requested artifact in presentation order.
+func renderArtifacts(ex sim.Exec, w io.Writer, only string) error {
+	want := func(name string) bool {
+		if only == "" {
+			return true
+		}
+		for _, s := range strings.Split(only, ",") {
+			if strings.TrimSpace(s) == name {
+				return true
+			}
+		}
+		return false
 	}
 
 	apps := workloads.All()
@@ -73,105 +125,105 @@ func RunBench(args []string, stdout io.Writer) error {
 		fmt.Fprintf(w, "Table 3: MMT hardware cost estimate\n------------------------------------\n%s\n\n", h)
 	}
 	if want("fig1") {
-		rows, err := sim.Figure1(apps, 1_000_000)
+		rows, err := sim.Figure1(ex, apps, 1_000_000)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig1(rows))
 	}
 	if want("fig2") {
-		rows, err := sim.Figure2(apps, 1_000_000)
+		rows, err := sim.Figure2(ex, apps, 1_000_000)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig2(rows))
 	}
 	if want("fig5a") {
-		rows, gm, err := sim.Figure5Speedups(apps, 2)
+		rows, gm, err := sim.Figure5Speedups(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig5(rows, gm, 2))
 	}
 	if want("fig5b") {
-		rows, err := sim.Figure5b(apps, 2)
+		rows, err := sim.Figure5b(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig5b(rows))
 	}
 	if want("fig5c") {
-		rows, gm, err := sim.Figure5Speedups(apps, 4)
+		rows, gm, err := sim.Figure5Speedups(ex, apps, 4)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig5(rows, gm, 4))
 	}
 	if want("fig5d") {
-		rows, err := sim.Figure5d(apps, 2)
+		rows, err := sim.Figure5d(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig5d(rows))
 	}
 	if want("fig6") {
-		rows, err := sim.Figure6(apps)
+		rows, err := sim.Figure6(ex, apps)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig6(rows))
 	}
 	if want("fig7a") {
-		rows, err := sim.Figure7a(apps, 2)
+		rows, err := sim.Figure7a(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig7a(rows))
 	}
 	if want("fig7b") {
-		sp, err := sim.Figure7b(apps, 2)
+		sp, err := sim.Figure7b(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatSweep("Figure 7(b): geomean speedup vs load/store ports", sim.LSPortCounts, sp))
 	}
 	if want("fig7c") {
-		rows, err := sim.Figure7c(apps, 2)
+		rows, err := sim.Figure7c(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatFig7c(rows))
 	}
 	if want("fig7d") {
-		sp, err := sim.Figure7d(apps, 2)
+		sp, err := sim.Figure7d(ex, apps, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatSweep("Figure 7(d): geomean speedup vs fetch width", sim.FetchWidths, sp))
 	}
 	if want("mp") {
-		rows, err := sim.ExtensionMP()
+		rows, err := sim.ExtensionMP(ex)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatMP(rows))
 	}
 	if want("cosched") {
-		rows, err := sim.ExtensionCoschedule()
+		rows, err := sim.ExtensionCoschedule(ex)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatCoschedule(rows))
 	}
 	if want("diversity") {
-		rows, err := sim.ExtensionDiversity()
+		rows, err := sim.ExtensionDiversity(ex)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, sim.FormatDiversity(rows))
 	}
 	if want("scaling") {
-		rows, err := sim.ExtensionScaling(apps)
+		rows, err := sim.ExtensionScaling(ex, apps)
 		if err != nil {
 			return err
 		}
@@ -185,17 +237,17 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 		for _, s := range []study{
 			{"Ablation: remerge mechanism (MMT-FXR, 2T)", sim.SyncPolicyNames,
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationSyncPolicy(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationSyncPolicy(ex, apps, 2) }},
 			{"Ablation: load-value-identical policy (MMT-FXR, 2T)", sim.LVIPModeNames,
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationLVIP(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationLVIP(ex, apps, 2) }},
 			{"Ablation: CATCHUP ahead-thread duty cycle (MMT-FXR, 2T)", dutyNames(),
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationAheadDuty(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationAheadDuty(ex, apps, 2) }},
 			{"Ablation: register-merge read ports (MMT-FXR, 2T)", portNames(),
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationRegMergePorts(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationRegMergePorts(ex, apps, 2) }},
 			{"Ablation (§5 claim): machine scale — gains grow as the core shrinks", sim.MachineScaleNames,
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationMachineScale(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationMachineScale(ex, apps, 2) }},
 			{"Ablation (§5 claim): trace cache on/off — near-identical results", sim.TraceCacheNames,
-				func() ([]sim.AblationRow, []float64, error) { return sim.AblationTraceCache(apps, 2) }},
+				func() ([]sim.AblationRow, []float64, error) { return sim.AblationTraceCache(ex, apps, 2) }},
 		} {
 			rows, gms, err := s.run()
 			if err != nil {
@@ -205,7 +257,7 @@ func RunBench(args []string, stdout io.Writer) error {
 		}
 	}
 	if want("sec63") {
-		m, err := sim.RemergeWithin512(apps, 2)
+		m, err := sim.RemergeWithin512(ex, apps, 2)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -160,6 +161,66 @@ func TestArtifactsListMatchesBench(t *testing.T) {
 func readFile(path string) (string, error) {
 	b, err := os.ReadFile(path)
 	return string(b), err
+}
+
+func TestRunBenchParallelDeterminism(t *testing.T) {
+	// The acceptance bar for the runner: the fig5a report on stdout is
+	// byte-identical whether one worker runs the batch or eight do.
+	var serial, parallel bytes.Buffer
+	if _, err := runBench([]string{"-only", "fig5a", "-j", "1"}, &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runBench([]string{"-only", "fig5a", "-j", "8"}, &parallel, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j 1 and -j 8 reports differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "geomean") {
+		t.Errorf("fig5a output incomplete:\n%s", serial.String())
+	}
+}
+
+func TestRunBenchWarmCacheRunsNothing(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-only", "sec63", "-cache-dir", dir, "-j", "2"}
+	var cold, warm bytes.Buffer
+	s1, err := runBench(args, &cold, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Jobs == 0 || s1.Executed != s1.Jobs || s1.CacheHits != 0 {
+		t.Fatalf("cold summary = %+v", s1)
+	}
+	s2, err := runBench(args, &warm, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm run must execute zero simulations and serve everything
+	// from the persistent cache — with the identical report.
+	if s2.Executed != 0 || s2.CacheHits != s2.Jobs || s2.Jobs != s1.Jobs {
+		t.Errorf("warm summary = %+v", s2)
+	}
+	if cold.String() != warm.String() {
+		t.Error("cached report differs from fresh report")
+	}
+}
+
+func TestRunBenchProgressOnSeparateStream(t *testing.T) {
+	var out, progress bytes.Buffer
+	s, err := runBench([]string{"-only", "fig5a", "-j", "2"}, &out, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs == 0 {
+		t.Fatalf("no jobs scheduled: %+v", s)
+	}
+	if !strings.Contains(progress.String(), "runner:") {
+		t.Errorf("summary missing from progress stream: %q", progress.String())
+	}
+	if strings.Contains(out.String(), "runner:") {
+		t.Error("runner chatter leaked into the report stream")
+	}
 }
 
 func TestRunSimEquOverride(t *testing.T) {

@@ -31,13 +31,14 @@ func RunProfile(args []string, out io.Writer) error {
 		apps = []workloads.App{a}
 	}
 
-	rows1, err := sim.Figure1(apps, *maxInsts)
+	ex := sim.NewSerial()
+	rows1, err := sim.Figure1(ex, apps, *maxInsts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, sim.FormatFig1(rows1))
 
-	rows2, err := sim.Figure2(apps, *maxInsts)
+	rows2, err := sim.Figure2(ex, apps, *maxInsts)
 	if err != nil {
 		return err
 	}

@@ -4,15 +4,20 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mmt/internal/asm"
 	"mmt/internal/core"
 	"mmt/internal/prog"
+	"mmt/internal/runner"
 	"mmt/internal/sim"
 	"mmt/internal/workloads"
 )
@@ -23,15 +28,17 @@ func RunSim(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mmtsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		appName = fs.String("app", "ammp", "application name (see -list)")
-		preset  = fs.String("preset", "MMT-FXR", "configuration: Base, MMT-F, MMT-FX, MMT-FXR, Limit")
-		threads = fs.Int("threads", 2, "hardware threads (1-4)")
-		fhb     = fs.Int("fhb", 0, "override Fetch History Buffer entries (0 = Table 4 default)")
-		fw      = fs.Int("fetchwidth", 0, "override fetch width (0 = Table 4 default)")
-		lsports = fs.Int("lsports", 0, "override load/store ports (0 = Table 4 default)")
-		list    = fs.Bool("list", false, "list applications and exit")
-		disasm  = fs.Bool("disasm", false, "print the application's disassembly and exit")
-		equ     = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256")
+		appName  = fs.String("app", "ammp", "application name (see -list)")
+		preset   = fs.String("preset", "MMT-FXR", "configuration: Base, MMT-F, MMT-FX, MMT-FXR, Limit")
+		threads  = fs.Int("threads", 2, "hardware threads (1-4)")
+		fhb      = fs.Int("fhb", 0, "override Fetch History Buffer entries (0 = Table 4 default)")
+		fw       = fs.Int("fetchwidth", 0, "override fetch width (0 = Table 4 default)")
+		lsports  = fs.Int("lsports", 0, "override load/store ports (0 = Table 4 default)")
+		list     = fs.Bool("list", false, "list applications and exit")
+		disasm   = fs.Bool("disasm", false, "print the application's disassembly and exit")
+		equ      = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256")
+		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
+		timeout  = fs.Duration("timeout", 0, "simulation wall-clock timeout (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,11 +87,21 @@ func RunSim(args []string, out io.Writer) error {
 		}
 		app = app.Override(overrides)
 	}
-	res, err := sim.Run(app, sim.Preset(*preset), *threads, mutate)
+
+	// Even a single simulation goes through the runner, so mmtsim shares
+	// mmtbench's persistent cache, timeout and panic isolation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir, Timeout: *timeout})
 	if err != nil {
 		return err
 	}
-	printResult(out, res)
+	defer pool.Close()
+	o, err := pool.Do(sim.Task{App: app, Preset: sim.Preset(*preset), Threads: *threads, Mutate: mutate})
+	if err != nil {
+		return err
+	}
+	printResult(out, o.Result)
 	return nil
 }
 

@@ -493,10 +493,7 @@ func (c *Core) handleControl(g *group, u *uop, now uint64, traceHit bool) *uop {
 		// Divergence: split the group. Subgroups leaving the followed
 		// path redirect — a fixed front-end penalty under a trace hit,
 		// a stall until the branch resolves otherwise.
-		if c.stats.DivergencePCs == nil {
-			c.stats.DivergencePCs = make(map[uint64]uint64)
-		}
-		c.stats.DivergencePCs[u.pc]++
+		c.stats.RecordDivergencePC(u.pc)
 		subs := c.splitGroup(g, parts)
 		for i, sg := range subs {
 			if partPC[i] == followPath {

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mmt/internal/sim"
+)
+
+// diskCache is the persistent result cache: one JSON file per task key
+// under the cache directory. Writes go through a temp file and an atomic
+// rename, so a killed run never leaves a torn entry; reads validate the
+// schema version and the embedded key and delete anything corrupt or
+// mismatched (it then simply re-simulates).
+type diskCache struct {
+	dir string
+}
+
+// entry is the on-disk format. Task is a human-readable label for people
+// inspecting the cache directory; only Schema, Key and Outcome are load-
+// bearing.
+type entry struct {
+	Schema  int          `json:"schema"`
+	Key     string       `json:"key"`
+	Task    string       `json:"task"`
+	Outcome *sim.Outcome `json:"outcome"`
+}
+
+// openDiskCache creates the directory if needed.
+func openDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// path returns the entry file for a key. Keys are hex SHA-256, so they are
+// always safe file names.
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the cached outcome and whether it hit; invalidated reports
+// that a corrupt or mismatched entry was found and deleted.
+func (c *diskCache) load(key string, t sim.Task) (out *sim.Outcome, ok, invalidated bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || !c.valid(&e, key, t) {
+		os.Remove(c.path(key))
+		return nil, false, true
+	}
+	return e.Outcome, true, false
+}
+
+// valid checks an entry against the key and the task's expected shape.
+func (c *diskCache) valid(e *entry, key string, t sim.Task) bool {
+	if e.Schema != sim.KeySchema || e.Key != key || e.Outcome == nil {
+		return false
+	}
+	if t.Profile {
+		return e.Outcome.Profile != nil
+	}
+	return e.Outcome.Result != nil && e.Outcome.Result.Stats != nil
+}
+
+// store writes an entry atomically (temp file + rename).
+func (c *diskCache) store(key string, t sim.Task, out *sim.Outcome) error {
+	b, err := json.Marshal(entry{Schema: sim.KeySchema, Key: key, Task: t.Name(), Outcome: out})
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

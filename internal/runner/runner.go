@@ -1,0 +1,370 @@
+// Package runner is the experiment-execution subsystem: it schedules
+// simulation tasks across a bounded worker pool with cancellation, per-job
+// timeouts, panic capture and bounded retry, layers a persistent on-disk
+// result cache over the in-memory memo, and reports live progress plus a
+// post-run summary.
+//
+// The Pool implements sim.Exec, so the experiment drivers in internal/sim
+// are oblivious to whether they run serially or across N workers: they
+// enumerate their simulation points with Schedule and assemble rows in a
+// fixed order with Do. Jobs are deduplicated by the tasks' content-
+// addressed keys, so points shared between artifacts (Fig. 5a/5b/5d/6 all
+// need the Base and MMT-FXR runs) simulate once per process — and, with a
+// cache directory, once ever until the configuration changes.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mmt/internal/sim"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 means runtime.NumCPU().
+	Workers int
+	// CacheDir, when non-empty, enables the persistent result cache.
+	CacheDir string
+	// Timeout bounds one attempt's wall clock (0 = none). The simulator
+	// is not interruptible, so a timed-out attempt's goroutine is
+	// abandoned and the attempt reported failed.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed (errored, panicked or
+	// timed-out) job gets before its error is reported.
+	Retries int
+	// Progress, when non-nil, receives live progress lines (one per
+	// refresh with changed counts) — point it at stderr so artifact
+	// output on stdout stays byte-identical across worker counts.
+	Progress io.Writer
+	// ProgressEvery is the live-progress refresh period (default 2s).
+	ProgressEvery time.Duration
+}
+
+// job is one scheduled task and its future outcome.
+type job struct {
+	task sim.Task
+	key  string
+
+	done chan struct{} // closed when out/err are final
+	out  *sim.Outcome
+	err  error
+}
+
+// Pool executes simulation tasks across a bounded worker pool.
+type Pool struct {
+	ctx   context.Context
+	opts  Options
+	cache *diskCache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	closed   bool
+	canceled bool
+	stats    counters
+
+	start        time.Time
+	wall         time.Duration
+	workers      sync.WaitGroup
+	stopWatch    chan struct{}
+	stopProgress chan struct{}
+	closeOnce    sync.Once
+}
+
+// counters aggregates the summary statistics (guarded by Pool.mu).
+type counters struct {
+	executed    int // simulations actually run to completion or failure
+	cacheHits   int // jobs served from the persistent cache
+	failed      int // jobs that finished with an error
+	retries     int // extra attempts consumed
+	invalidated int // corrupt/mismatched cache entries deleted
+	simTime     time.Duration
+	timings     []JobTiming
+}
+
+// compile-time check: the pool is a drop-in executor for the sim drivers.
+var _ sim.Exec = (*Pool)(nil)
+
+// New starts a pool. Close must be called to release its workers; ctx
+// cancellation fails every pending job with ctx.Err().
+func New(ctx context.Context, opts Options) (*Pool, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.ProgressEvery <= 0 {
+		opts.ProgressEvery = 2 * time.Second
+	}
+	p := &Pool{
+		ctx:          ctx,
+		opts:         opts,
+		jobs:         make(map[string]*job),
+		start:        time.Now(),
+		stopWatch:    make(chan struct{}),
+		stopProgress: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if opts.CacheDir != "" {
+		c, err := openDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		p.cache = c
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.workers.Add(1)
+		go p.worker()
+	}
+	go p.watchCancel()
+	if opts.Progress != nil {
+		go p.progressLoop()
+	}
+	return p, nil
+}
+
+// Schedule enqueues tasks for the workers; tasks whose key is already
+// known are deduplicated. Scheduling is asynchronous — collect outcomes
+// with Do.
+func (p *Pool) Schedule(tasks ...sim.Task) {
+	for _, t := range tasks {
+		// A task that cannot be keyed cannot be deduplicated or cached;
+		// Do reports the keying error when the outcome is collected.
+		p.ensure(t) //nolint:errcheck
+	}
+}
+
+// Do returns the task's outcome, scheduling it if it is not already
+// queued, running or finished. It blocks until the job completes or the
+// pool's context is canceled.
+func (p *Pool) Do(t sim.Task) (*sim.Outcome, error) {
+	j, err := p.ensure(t)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-p.ctx.Done():
+		// The job may have completed in the same instant; prefer its
+		// real outcome.
+		select {
+		case <-j.done:
+		default:
+			return nil, p.ctx.Err()
+		}
+	}
+	return j.out, j.err
+}
+
+// ensure returns the job for the task's key, creating and enqueueing it if
+// new.
+func (p *Pool) ensure(t sim.Task) (*job, error) {
+	key, err := t.Key()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if j, ok := p.jobs[key]; ok {
+		return j, nil
+	}
+	j := &job{task: t, key: key, done: make(chan struct{})}
+	p.jobs[key] = j
+	switch {
+	case p.canceled:
+		j.err = p.ctx.Err()
+		p.stats.failed++
+		close(j.done)
+	case p.closed:
+		j.err = fmt.Errorf("runner: pool closed")
+		p.stats.failed++
+		close(j.done)
+	default:
+		p.queue = append(p.queue, j)
+		p.cond.Signal()
+	}
+	return j, nil
+}
+
+// worker drains the queue until the pool closes or is canceled.
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed && !p.canceled {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.run(j)
+	}
+}
+
+// watchCancel fails every queued job the moment the context is canceled,
+// so Do callers unblock promptly even with all workers busy.
+func (p *Pool) watchCancel() {
+	select {
+	case <-p.ctx.Done():
+	case <-p.stopWatch:
+		return
+	}
+	p.mu.Lock()
+	p.canceled = true
+	for _, j := range p.queue {
+		j.err = p.ctx.Err()
+		p.stats.failed++
+		close(j.done)
+	}
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// run executes one job: cache lookup, bounded attempts, cache store.
+func (p *Pool) run(j *job) {
+	if err := p.ctx.Err(); err != nil {
+		p.finish(j, nil, false, 0, err)
+		return
+	}
+	if p.cache != nil {
+		out, ok, invalidated := p.cache.load(j.key, j.task)
+		if invalidated {
+			p.mu.Lock()
+			p.stats.invalidated++
+			p.mu.Unlock()
+		}
+		if ok {
+			p.finish(j, out, true, 0, nil)
+			return
+		}
+	}
+	start := time.Now()
+	var out *sim.Outcome
+	var err error
+	for attempt := 0; ; attempt++ {
+		out, err = p.attempt(j.task)
+		if err == nil || attempt >= p.opts.Retries || p.ctx.Err() != nil {
+			break
+		}
+		p.mu.Lock()
+		p.stats.retries++
+		p.mu.Unlock()
+	}
+	dur := time.Since(start)
+	if err == nil && p.cache != nil {
+		if werr := p.cache.store(j.key, j.task, out); werr != nil && p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runner: cache write for %s failed: %v\n", j.task.Name(), werr)
+		}
+	}
+	p.finish(j, out, false, dur, err)
+}
+
+// attempt runs the task once on a fresh goroutine, converting panics into
+// errors and enforcing the per-attempt timeout.
+func (p *Pool) attempt(t sim.Task) (*sim.Outcome, error) {
+	type result struct {
+		out *sim.Outcome
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- result{nil, fmt.Errorf("runner: job %s panicked: %v\n%s", t.Name(), r, debug.Stack())}
+			}
+		}()
+		out, err := t.Execute()
+		ch <- result{out, err}
+	}()
+	var timeout <-chan time.Time
+	if p.opts.Timeout > 0 {
+		timer := time.NewTimer(p.opts.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-timeout:
+		return nil, fmt.Errorf("runner: job %s timed out after %v (simulation goroutine abandoned)", t.Name(), p.opts.Timeout)
+	case <-p.ctx.Done():
+		return nil, p.ctx.Err()
+	}
+}
+
+// finish records a job's outcome and wakes its waiters.
+func (p *Pool) finish(j *job, out *sim.Outcome, fromCache bool, dur time.Duration, err error) {
+	p.mu.Lock()
+	switch {
+	case err != nil:
+		p.stats.failed++
+	case fromCache:
+		p.stats.cacheHits++
+	default:
+		p.stats.executed++
+	}
+	if !fromCache && dur > 0 {
+		p.stats.simTime += dur
+		p.stats.timings = append(p.stats.timings, JobTiming{Name: j.task.Name(), Duration: dur})
+	}
+	p.mu.Unlock()
+	j.out, j.err = out, err
+	close(j.done)
+}
+
+// Close stops accepting work, waits for in-flight jobs, and stops the
+// progress and cancellation watchers. It is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		p.workers.Wait()
+		close(p.stopWatch)
+		close(p.stopProgress)
+		p.wall = time.Since(p.start)
+	})
+}
+
+// progressLoop periodically emits a one-line status while jobs are moving.
+func (p *Pool) progressLoop() {
+	ticker := time.NewTicker(p.opts.ProgressEvery)
+	defer ticker.Stop()
+	var last string
+	for {
+		select {
+		case <-p.stopProgress:
+			return
+		case <-ticker.C:
+			line := p.progressLine()
+			if line != "" && line != last {
+				fmt.Fprintln(p.opts.Progress, line)
+				last = line
+			}
+		}
+	}
+}
+
+// progressLine renders the current counts; empty when nothing is scheduled.
+func (p *Pool) progressLine() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := len(p.jobs)
+	if total == 0 {
+		return ""
+	}
+	done := p.stats.executed + p.stats.cacheHits + p.stats.failed
+	return fmt.Sprintf("runner: %d/%d jobs done (%d simulated, %d cached, %d failed)",
+		done, total, p.stats.executed, p.stats.cacheHits, p.stats.failed)
+}

@@ -19,17 +19,26 @@ type AblationRow struct {
 }
 
 // ablate runs every app at the given thread count once per variant.
-func ablate(apps []workloads.App, threads int, variants []func(*core.Config)) ([]AblationRow, []float64, error) {
+func ablate(ex Exec, apps []workloads.App, threads int, variants []func(*core.Config)) ([]AblationRow, []float64, error) {
+	var tasks []Task
+	for _, a := range apps {
+		tasks = append(tasks, Task{App: a, Preset: PresetBase, Threads: threads})
+		for _, v := range variants {
+			tasks = append(tasks, Task{App: a, Preset: PresetMMTFXR, Threads: threads, Mutate: v})
+		}
+	}
+	ex.Schedule(tasks...)
+
 	rows := make([]AblationRow, 0, len(apps))
 	per := make([][]float64, len(variants))
 	for _, a := range apps {
-		base, err := Run(a, PresetBase, threads, nil)
+		base, err := runPoint(ex, a, PresetBase, threads, nil)
 		if err != nil {
 			return nil, nil, err
 		}
 		row := AblationRow{App: a.Name}
 		for vi, v := range variants {
-			r, err := Run(a, PresetMMTFXR, threads, v)
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, v)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -52,8 +61,8 @@ var SyncPolicyNames = []string{"FHB+CATCHUP", "hints (TF)", "none"}
 // AblationSyncPolicy compares the paper's hardware remerge detector
 // against the Thread Fusion software-hints baseline [36] and against no
 // remerge detection at all.
-func AblationSyncPolicy(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
-	return ablate(apps, threads, []func(*core.Config){
+func AblationSyncPolicy(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablate(ex, apps, threads, []func(*core.Config){
 		func(c *core.Config) { c.Sync = core.SyncFHB },
 		func(c *core.Config) { c.Sync = core.SyncHints },
 		func(c *core.Config) { c.Sync = core.SyncNone },
@@ -65,8 +74,8 @@ var LVIPModeNames = []string{"predict", "off", "oracle"}
 
 // AblationLVIP compares the paper's load-value-identical predictor against
 // no prediction (always split) and a value oracle (the upper bound).
-func AblationLVIP(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
-	return ablate(apps, threads, []func(*core.Config){
+func AblationLVIP(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablate(ex, apps, threads, []func(*core.Config){
 		func(c *core.Config) { c.LVIP = core.LVIPPredict },
 		func(c *core.Config) { c.LVIP = core.LVIPOff },
 		func(c *core.Config) { c.LVIP = core.LVIPOracle },
@@ -78,13 +87,13 @@ func AblationLVIP(apps []workloads.App, threads int) ([]AblationRow, []float64, 
 var AheadDuties = []uint64{0, 2, 4, 8}
 
 // AblationAheadDuty sweeps the catchup priority policy.
-func AblationAheadDuty(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+func AblationAheadDuty(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
 	var variants []func(*core.Config)
 	for _, d := range AheadDuties {
 		d := d
 		variants = append(variants, func(c *core.Config) { c.AheadDuty = d })
 	}
-	return ablate(apps, threads, variants)
+	return ablate(ex, apps, threads, variants)
 }
 
 // RegMergePortCounts is the register-merge read-port sweep (0 disables the
@@ -92,13 +101,13 @@ func AblationAheadDuty(apps []workloads.App, threads int) ([]AblationRow, []floa
 var RegMergePortCounts = []int{0, 1, 2, 4}
 
 // AblationRegMergePorts sweeps the commit-time comparison bandwidth.
-func AblationRegMergePorts(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+func AblationRegMergePorts(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
 	var variants []func(*core.Config)
 	for _, p := range RegMergePortCounts {
 		p := p
 		variants = append(variants, func(c *core.Config) { c.RegMergePorts = p })
 	}
-	return ablate(apps, threads, variants)
+	return ablate(ex, apps, threads, variants)
 }
 
 // FormatAblation renders one ablation study.
@@ -125,6 +134,46 @@ func FormatAblation(title string, names []string, rows []AblationRow, gms []floa
 	return b.String()
 }
 
+// ablatePaired runs Base and MMT-FXR under the same mutation per variant
+// (machine-scale and trace-cache studies, where the baseline must shrink
+// with the MMT machine).
+func ablatePaired(ex Exec, apps []workloads.App, threads int, variants []func(*core.Config)) ([]AblationRow, []float64, error) {
+	var tasks []Task
+	for _, a := range apps {
+		for _, v := range variants {
+			for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+				tasks = append(tasks, Task{App: a, Preset: p, Threads: threads, Mutate: v})
+			}
+		}
+	}
+	ex.Schedule(tasks...)
+
+	rows := make([]AblationRow, 0, len(apps))
+	per := make([][]float64, len(variants))
+	for _, a := range apps {
+		row := AblationRow{App: a.Name}
+		for vi, v := range variants {
+			base, err := runPoint(ex, a, PresetBase, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := Speedup(base, r)
+			row.Speedups = append(row.Speedups, s)
+			per[vi] = append(per[vi], s)
+		}
+		rows = append(rows, row)
+	}
+	gms := make([]float64, len(variants))
+	for vi := range variants {
+		gms[vi] = Geomean(per[vi])
+	}
+	return rows, gms, nil
+}
+
 // MachineScales are the §5 machine-scale variants ("the speedups of our
 // system increase as the system is scaled down, so we chose an aggressive
 // baseline").
@@ -144,32 +193,8 @@ func machineScaleVariants() []func(*core.Config) {
 
 // AblationMachineScale verifies the §5 claim by shrinking the machine.
 // Base and MMT use the same shrunken machine per column.
-func AblationMachineScale(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
-	variants := machineScaleVariants()
-	rows := make([]AblationRow, 0, len(apps))
-	per := make([][]float64, len(variants))
-	for _, a := range apps {
-		row := AblationRow{App: a.Name}
-		for vi, v := range variants {
-			base, err := Run(a, PresetBase, threads, v)
-			if err != nil {
-				return nil, nil, err
-			}
-			r, err := Run(a, PresetMMTFXR, threads, v)
-			if err != nil {
-				return nil, nil, err
-			}
-			s := Speedup(base, r)
-			row.Speedups = append(row.Speedups, s)
-			per[vi] = append(per[vi], s)
-		}
-		rows = append(rows, row)
-	}
-	gms := make([]float64, len(variants))
-	for vi := range variants {
-		gms[vi] = Geomean(per[vi])
-	}
-	return rows, gms, nil
+func AblationMachineScale(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablatePaired(ex, apps, threads, machineScaleVariants())
 }
 
 // TraceCacheNames labels the §5 trace-cache check ("we found that the
@@ -178,33 +203,9 @@ var TraceCacheNames = []string{"with TC", "without TC"}
 
 // AblationTraceCache compares MMT-FXR speedups with and without the trace
 // cache (Base and MMT matched per column).
-func AblationTraceCache(apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
-	variants := []func(*core.Config){
+func AblationTraceCache(ex Exec, apps []workloads.App, threads int) ([]AblationRow, []float64, error) {
+	return ablatePaired(ex, apps, threads, []func(*core.Config){
 		func(c *core.Config) {},
 		func(c *core.Config) { c.TraceCacheBytes = 0 },
-	}
-	rows := make([]AblationRow, 0, len(apps))
-	per := make([][]float64, len(variants))
-	for _, a := range apps {
-		row := AblationRow{App: a.Name}
-		for vi, v := range variants {
-			base, err := Run(a, PresetBase, threads, v)
-			if err != nil {
-				return nil, nil, err
-			}
-			r, err := Run(a, PresetMMTFXR, threads, v)
-			if err != nil {
-				return nil, nil, err
-			}
-			s := Speedup(base, r)
-			row.Speedups = append(row.Speedups, s)
-			per[vi] = append(per[vi], s)
-		}
-		rows = append(rows, row)
-	}
-	gms := make([]float64, len(variants))
-	for vi := range variants {
-		gms[vi] = Geomean(per[vi])
-	}
-	return rows, gms, nil
+	})
 }

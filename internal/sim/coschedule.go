@@ -5,8 +5,6 @@ import (
 	"strings"
 
 	"mmt/internal/asm"
-	"mmt/internal/core"
-	"mmt/internal/power"
 	"mmt/internal/prog"
 	"mmt/internal/workloads"
 )
@@ -66,36 +64,21 @@ func buildCoschedule(a, b workloads.App) (*prog.System, error) {
 	return prog.NewMultiSystem([]*prog.Program{pa, pa, pb, pb}, init)
 }
 
-// runCoschedule simulates one pair under one preset.
-func runCoschedule(a, b workloads.App, p Preset) (*Result, error) {
-	cfg, err := Configure(p, 4)
-	if err != nil {
-		return nil, err
+// coschedTask describes one pair/preset point as a custom-build task; the
+// Variant string carries the pair identity into the content-addressed key.
+func coschedTask(a, b workloads.App, p Preset) Task {
+	return Task{
+		Variant: "cosched:" + a.Name + "+" + b.Name,
+		Preset:  p,
+		Threads: 4,
+		Build:   func() (*prog.System, error) { return buildCoschedule(a, b) },
 	}
-	sys, err := buildCoschedule(a, b)
-	if err != nil {
-		return nil, err
-	}
-	c, err := core.New(cfg, sys)
-	if err != nil {
-		return nil, err
-	}
-	st, err := c.Run()
-	if err != nil {
-		return nil, fmt.Errorf("sim: coschedule %s+%s/%s: %w", a.Name, b.Name, p, err)
-	}
-	model := power.NewModel()
-	return &Result{
-		App: a.Name + "+" + b.Name, Preset: p, Threads: 4,
-		Stats: st, Mem: c.MemEvents(),
-		Energy:       model.Energy(st, c.MemEvents()),
-		EnergyPerJob: model.EnergyPerJob(st, c.MemEvents()),
-	}, nil
 }
 
 // ExtensionCoschedule runs the mixed-workload study.
-func ExtensionCoschedule() ([]CoschedRow, error) {
-	var rows []CoschedRow
+func ExtensionCoschedule(ex Exec) ([]CoschedRow, error) {
+	pairs := make([][2]workloads.App, 0, len(CoschedulePairs))
+	var tasks []Task
 	for _, pair := range CoschedulePairs {
 		a, ok := workloads.ByName(pair[0])
 		if !ok {
@@ -105,14 +88,23 @@ func ExtensionCoschedule() ([]CoschedRow, error) {
 		if !ok {
 			return nil, fmt.Errorf("sim: unknown app %q", pair[1])
 		}
-		base, err := runCoschedule(a, b, PresetBase)
+		pairs = append(pairs, [2]workloads.App{a, b})
+		tasks = append(tasks, coschedTask(a, b, PresetBase), coschedTask(a, b, PresetMMTFXR))
+	}
+	ex.Schedule(tasks...)
+
+	var rows []CoschedRow
+	for _, pair := range pairs {
+		a, b := pair[0], pair[1]
+		baseOut, err := ex.Do(coschedTask(a, b, PresetBase))
 		if err != nil {
 			return nil, err
 		}
-		fxr, err := runCoschedule(a, b, PresetMMTFXR)
+		fxrOut, err := ex.Do(coschedTask(a, b, PresetMMTFXR))
 		if err != nil {
 			return nil, err
 		}
+		base, fxr := baseOut.Result, fxrOut.Result
 		m, _, _ := fxr.Stats.FetchModeFractions()
 		x, xr, _, _ := fxr.Stats.IdenticalFractions()
 		rows = append(rows, CoschedRow{

@@ -15,7 +15,7 @@ func TestDiagFigure5(t *testing.T) {
 		t.Skip("diagnostic; run with -v")
 	}
 	for _, n := range []int{2, 4} {
-		rows, gm, err := Figure5Speedups(workloads.All(), n)
+		rows, gm, err := Figure5Speedups(NewSerial(), workloads.All(), n)
 		if err != nil {
 			t.Fatal(err)
 		}

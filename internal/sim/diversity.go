@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"mmt/internal/asm"
-	"mmt/internal/core"
 	"mmt/internal/prog"
 	"mmt/internal/workloads"
 )
@@ -80,26 +79,60 @@ type DiversityRow struct {
 // DiversityApps is the study's application set.
 var DiversityApps = []string{"ammp", "mcf", "equake"}
 
+// diversityTask describes one build/preset point as a custom-build task.
+func diversityTask(a workloads.App, kind string, build sysBuilder, p Preset) Task {
+	return Task{
+		Variant: "diversity:" + a.Name + ":" + kind,
+		Preset:  p,
+		Threads: 4,
+		Build:   build,
+	}
+}
+
 // ExtensionDiversity runs the software-diversity study.
-func ExtensionDiversity() ([]DiversityRow, error) {
-	var rows []DiversityRow
+func ExtensionDiversity(ex Exec) ([]DiversityRow, error) {
+	type study struct {
+		app    workloads.App
+		builds [2]sysBuilder // uniform, diverse
+	}
+	var studies []study
+	var tasks []Task
 	for _, name := range DiversityApps {
 		a, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("sim: unknown app %q", name)
 		}
-		uniform, err := speedupOn(buildUniform(a))
-		if err != nil {
-			return nil, fmt.Errorf("diversity %s uniform: %w", name, err)
+		s := study{app: a, builds: [2]sysBuilder{buildUniform(a), buildDiverse(a)}}
+		studies = append(studies, s)
+		for ki, kind := range diversityKinds {
+			for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+				tasks = append(tasks, diversityTask(a, kind, s.builds[ki], p))
+			}
 		}
-		diverse, err := speedupOn(buildDiverse(a))
-		if err != nil {
-			return nil, fmt.Errorf("diversity %s diverse: %w", name, err)
+	}
+	ex.Schedule(tasks...)
+
+	var rows []DiversityRow
+	for _, s := range studies {
+		var speedups [2]float64
+		for ki, kind := range diversityKinds {
+			base, err := ex.Do(diversityTask(s.app, kind, s.builds[ki], PresetBase))
+			if err != nil {
+				return nil, fmt.Errorf("diversity %s %s: %w", s.app.Name, kind, err)
+			}
+			fxr, err := ex.Do(diversityTask(s.app, kind, s.builds[ki], PresetMMTFXR))
+			if err != nil {
+				return nil, fmt.Errorf("diversity %s %s: %w", s.app.Name, kind, err)
+			}
+			speedups[ki] = Speedup(base.Result, fxr.Result)
 		}
-		rows = append(rows, DiversityRow{App: name, Uniform: uniform, Diverse: diverse})
+		rows = append(rows, DiversityRow{App: s.app.Name, Uniform: speedups[0], Diverse: speedups[1]})
 	}
 	return rows, nil
 }
+
+// diversityKinds labels the two builds; the strings enter the task keys.
+var diversityKinds = [2]string{"uniform", "2+2"}
 
 type sysBuilder func() (*prog.System, error)
 
@@ -131,39 +164,6 @@ func buildDiverse(a workloads.App) sysBuilder {
 		}
 		return prog.NewMultiSystem([]*prog.Program{pa, pa, pb, pb}, init)
 	}
-}
-
-// speedupOn runs Base and MMT-FXR on freshly built systems and returns the
-// cycle ratio.
-func speedupOn(build sysBuilder) (float64, error) {
-	run := func(p Preset) (uint64, error) {
-		cfg, err := Configure(p, 4)
-		if err != nil {
-			return 0, err
-		}
-		sys, err := build()
-		if err != nil {
-			return 0, err
-		}
-		c, err := core.New(cfg, sys)
-		if err != nil {
-			return 0, err
-		}
-		st, err := c.Run()
-		if err != nil {
-			return 0, err
-		}
-		return st.Cycles, nil
-	}
-	base, err := run(PresetBase)
-	if err != nil {
-		return 0, err
-	}
-	fxr, err := run(PresetMMTFXR)
-	if err != nil {
-		return 0, err
-	}
-	return float64(base) / float64(fxr), nil
 }
 
 // FormatDiversity renders the study.

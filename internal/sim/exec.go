@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"mmt/internal/core"
+	"mmt/internal/power"
+	"mmt/internal/prog"
+	"mmt/internal/trace"
+	"mmt/internal/workloads"
+)
+
+// KeySchema salts every task key. Bump it whenever the Result/Profile
+// serialization or the simulator's semantics change incompatibly: persistent
+// cache entries written by older binaries then stop matching their keys and
+// the points are re-simulated instead of being served stale.
+const KeySchema = 1
+
+// Task fully describes one unit of experiment work: a timing simulation of
+// one (app, preset, threads) point — possibly with a configuration mutation
+// or a custom-built system — or a §3 trace-alignment profile. Tasks are
+// content-addressed: Key folds every input that can change the outcome into
+// a canonical hash, which the in-memory memo and the persistent result
+// cache share.
+type Task struct {
+	// App is the workload. Its name and a hash of its assembly source
+	// enter the key; ignored when Build is set.
+	App workloads.App
+	// Preset selects the Table 5 design point (unused by Profile tasks).
+	Preset Preset
+	// Threads is the hardware thread count (context count for Profile
+	// tasks).
+	Threads int
+	// Mutate optionally adjusts the configuration before the run. It is
+	// folded into the key by hashing the fully resolved configuration, so
+	// two distinct closures with the same effect share one key.
+	Mutate func(*core.Config)
+	// Variant names a custom-built system (co-scheduling pairs, diversity
+	// builds). It must uniquely describe what Build constructs, because
+	// the build closure itself cannot be hashed. Empty for standard
+	// points.
+	Variant string
+	// Build overrides the standard system construction when non-nil.
+	Build func() (*prog.System, error)
+	// Profile switches the task from a timing simulation to the trace-
+	// alignment study of Fig. 1/2; MaxInsts bounds per-context dynamic
+	// instructions.
+	Profile  bool
+	MaxInsts int
+}
+
+// Outcome is a task's product: exactly one of Result (timing simulation)
+// or Profile (trace alignment) is non-nil.
+type Outcome struct {
+	Result  *Result        `json:"result,omitempty"`
+	Profile *trace.Profile `json:"profile,omitempty"`
+}
+
+// Name returns a short human-readable label for progress displays, e.g.
+// "ammp/MMT-FXR/2T" or "profile:ammp/2C".
+func (t Task) Name() string {
+	id := t.App.Name
+	if t.Variant != "" {
+		id = t.Variant
+	}
+	if t.Profile {
+		return fmt.Sprintf("profile:%s/%dC", id, t.Threads)
+	}
+	return fmt.Sprintf("%s/%s/%dT", id, t.Preset, t.Threads)
+}
+
+// ResolvedConfig returns the task's full core configuration: the preset's
+// Table 4/5 machine with Mutate applied.
+func (t Task) ResolvedConfig() (core.Config, error) {
+	cfg, err := Configure(t.Preset, t.Threads)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if t.Mutate != nil {
+		t.Mutate(&cfg)
+	}
+	return cfg, nil
+}
+
+// taskKeyBlob is the canonical serialized identity a task key hashes.
+type taskKeyBlob struct {
+	Schema     int
+	App        string
+	SourceHash string `json:",omitempty"`
+	Variant    string `json:",omitempty"`
+	Preset     Preset `json:",omitempty"`
+	Threads    int
+	Profile    bool               `json:",omitempty"`
+	MaxInsts   int                `json:",omitempty"`
+	Align      *trace.AlignConfig `json:",omitempty"`
+	Config     *core.Config       `json:",omitempty"`
+}
+
+// Key returns the task's canonical content-addressed identity: a hex
+// SHA-256 over the schema version, the workload identity (name + source
+// hash), the variant, and either the fully resolved core configuration
+// (timing tasks — this is what makes Mutate hooks cacheable) or the
+// alignment parameters (profile tasks).
+func (t Task) Key() (string, error) {
+	blob := taskKeyBlob{
+		Schema:   KeySchema,
+		App:      t.App.Name,
+		Variant:  t.Variant,
+		Preset:   t.Preset,
+		Threads:  t.Threads,
+		Profile:  t.Profile,
+		MaxInsts: t.MaxInsts,
+	}
+	if t.App.Source != "" {
+		sum := sha256.Sum256([]byte(t.App.Source))
+		blob.SourceHash = hex.EncodeToString(sum[:8])
+	}
+	if t.Profile {
+		ac := trace.DefaultAlignConfig()
+		blob.Align = &ac
+	} else {
+		cfg, err := t.ResolvedConfig()
+		if err != nil {
+			return "", err
+		}
+		blob.Config = &cfg
+	}
+	b, err := json.Marshal(blob)
+	if err != nil {
+		return "", fmt.Errorf("sim: keying %s: %w", t.Name(), err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Execute runs the task to completion on the calling goroutine.
+func (t Task) Execute() (*Outcome, error) {
+	build := t.Build
+	if build == nil {
+		app, threads, ident := t.App, t.Threads, t.Preset.IdenticalInputs()
+		build = func() (*prog.System, error) { return app.Build(threads, ident) }
+	}
+	if t.Profile {
+		sys, err := build()
+		if err != nil {
+			return nil, err
+		}
+		prof, err := trace.ProfileSystem(sys, t.MaxInsts, trace.DefaultAlignConfig())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", t.Name(), err)
+		}
+		return &Outcome{Profile: prof}, nil
+	}
+	cfg, err := t.ResolvedConfig()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(cfg, sys)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", t.Name(), err)
+	}
+	name := t.App.Name
+	if t.Variant != "" {
+		name = t.Variant
+	}
+	model := power.NewModel()
+	res := &Result{
+		App:     name,
+		Preset:  t.Preset,
+		Threads: t.Threads,
+		Stats:   st,
+		Mem:     c.MemEvents(),
+		Energy:  model.Energy(st, c.MemEvents()),
+	}
+	res.EnergyPerJob = model.EnergyPerJob(st, c.MemEvents())
+	return &Outcome{Result: res}, nil
+}
+
+// Exec executes simulation tasks for the experiment drivers. The drivers
+// enumerate every point they will need, announce them with Schedule, then
+// assemble their tables in deterministic order by collecting each outcome
+// with Do — so a parallel executor overlaps the simulations while the
+// assembled output stays byte-identical to a serial run.
+type Exec interface {
+	// Schedule announces tasks whose outcomes will later be collected
+	// with Do, letting parallel executors start them immediately.
+	// Implementations may ignore it; scheduling is never required before
+	// Do.
+	Schedule(tasks ...Task)
+	// Do returns the task's outcome, executing it if it is not already
+	// available. Tasks with equal keys share one outcome.
+	Do(t Task) (*Outcome, error)
+}
+
+// Serial is the inline executor: it runs tasks on the calling goroutine and
+// memoizes outcomes, so artifacts sharing points (Fig. 5a/5b/5d/6 all need
+// the Base and MMT-FXR runs) simulate each point once.
+type Serial struct{ memo *Memo }
+
+// NewSerial returns a serial executor with a fresh memo.
+func NewSerial() *Serial { return &Serial{memo: NewMemo()} }
+
+// Schedule is a no-op: serial execution happens at Do time.
+func (s *Serial) Schedule(tasks ...Task) {}
+
+// Do executes the task inline, serving repeats from the memo.
+func (s *Serial) Do(t Task) (*Outcome, error) { return s.memo.Do(t) }
+
+// runPoint collects one standard timing point through an executor.
+func runPoint(ex Exec, a workloads.App, p Preset, threads int, mutate func(*core.Config)) (*Result, error) {
+	out, err := ex.Do(Task{App: a, Preset: p, Threads: threads, Mutate: mutate})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// profilePoint collects one trace-alignment profile through an executor.
+func profilePoint(ex Exec, a workloads.App, maxInsts int) (*trace.Profile, error) {
+	out, err := ex.Do(Task{App: a, Threads: 2, Profile: true, MaxInsts: maxInsts})
+	if err != nil {
+		return nil, err
+	}
+	return out.Profile, nil
+}

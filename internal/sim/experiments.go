@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"mmt/internal/core"
 	"mmt/internal/trace"
 	"mmt/internal/workloads"
@@ -11,6 +9,13 @@ import (
 // This file implements one driver per evaluation artifact. Each returns
 // structured rows so cmd/mmtbench, the benchmark harness and EXPERIMENTS.md
 // share a single source of truth.
+//
+// Every driver follows the same two-phase shape: enumerate the simulation
+// points it will need and announce them to the executor with Schedule (a
+// parallel executor starts them all immediately), then assemble the rows in
+// a fixed order by collecting each outcome with Do. The assembly order never
+// depends on completion order, so the output is byte-identical whether the
+// executor is serial or parallel.
 
 // ---------------------------------------------------------------- Fig. 1
 
@@ -22,18 +27,25 @@ type Fig1Row struct {
 	NotIdent   float64
 }
 
+// profileTasks enumerates the two-context trace-alignment points shared by
+// Fig. 1 and Fig. 2.
+func profileTasks(apps []workloads.App, maxInsts int) []Task {
+	tasks := make([]Task, 0, len(apps))
+	for _, a := range apps {
+		tasks = append(tasks, Task{App: a, Threads: 2, Profile: true, MaxInsts: maxInsts})
+	}
+	return tasks
+}
+
 // Figure1 profiles instruction redundancy for every application with two
 // contexts, using the trace-alignment methodology.
-func Figure1(apps []workloads.App, maxInsts int) ([]Fig1Row, error) {
+func Figure1(ex Exec, apps []workloads.App, maxInsts int) ([]Fig1Row, error) {
+	ex.Schedule(profileTasks(apps, maxInsts)...)
 	var rows []Fig1Row
 	for _, a := range apps {
-		sys, err := a.Build(2, false)
+		prof, err := profilePoint(ex, a, maxInsts)
 		if err != nil {
 			return nil, err
-		}
-		prof, err := trace.ProfileSystem(sys, maxInsts, trace.DefaultAlignConfig())
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", a.Name, err)
 		}
 		x, f, n := prof.Fractions()
 		rows = append(rows, Fig1Row{App: a.Name, ExecIdent: x, FetchIdent: f, NotIdent: n})
@@ -52,16 +64,13 @@ type Fig2Row struct {
 }
 
 // Figure2 measures the difference in length of divergent execution paths.
-func Figure2(apps []workloads.App, maxInsts int) ([]Fig2Row, error) {
+func Figure2(ex Exec, apps []workloads.App, maxInsts int) ([]Fig2Row, error) {
+	ex.Schedule(profileTasks(apps, maxInsts)...)
 	var rows []Fig2Row
 	for _, a := range apps {
-		sys, err := a.Build(2, false)
+		prof, err := profilePoint(ex, a, maxInsts)
 		if err != nil {
 			return nil, err
-		}
-		prof, err := trace.ProfileSystem(sys, maxInsts, trace.DefaultAlignConfig())
-		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", a.Name, err)
 		}
 		row := Fig2Row{App: a.Name, Divergences: prof.Divergences}
 		for i, b := range trace.DistBuckets {
@@ -86,16 +95,24 @@ type SpeedupRow struct {
 
 // Figure5Speedups runs every preset for every app at the given thread
 // count; Fig. 5(a) is threads=2, Fig. 5(c) is threads=4.
-func Figure5Speedups(apps []workloads.App, threads int) ([]SpeedupRow, SpeedupRow, error) {
+func Figure5Speedups(ex Exec, apps []workloads.App, threads int) ([]SpeedupRow, SpeedupRow, error) {
+	var tasks []Task
+	for _, a := range apps {
+		for _, p := range Presets() {
+			tasks = append(tasks, Task{App: a, Preset: p, Threads: threads})
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var rows []SpeedupRow
 	for _, a := range apps {
-		base, err := memoRun(a, PresetBase, threads, nil)
+		base, err := runPoint(ex, a, PresetBase, threads, nil)
 		if err != nil {
 			return nil, SpeedupRow{}, err
 		}
 		row := SpeedupRow{App: a.Name}
 		for _, p := range []Preset{PresetMMTF, PresetMMTFX, PresetMMTFXR, PresetLimit} {
-			r, err := memoRun(a, p, threads, nil)
+			r, err := runPoint(ex, a, p, threads, nil)
 			if err != nil {
 				return nil, SpeedupRow{}, err
 			}
@@ -137,11 +154,22 @@ type Fig5bRow struct {
 	NotIdent          float64
 }
 
+// fxrTasks enumerates the single MMT-FXR point per app that Fig. 5(b),
+// Fig. 5(d) and §6.3 share.
+func fxrTasks(apps []workloads.App, threads int) []Task {
+	tasks := make([]Task, 0, len(apps))
+	for _, a := range apps {
+		tasks = append(tasks, Task{App: a, Preset: PresetMMTFXR, Threads: threads})
+	}
+	return tasks
+}
+
 // Figure5b runs MMT-FXR and reports the identified-identical breakdown.
-func Figure5b(apps []workloads.App, threads int) ([]Fig5bRow, error) {
+func Figure5b(ex Exec, apps []workloads.App, threads int) ([]Fig5bRow, error) {
+	ex.Schedule(fxrTasks(apps, threads)...)
 	var rows []Fig5bRow
 	for _, a := range apps {
-		r, err := memoRun(a, PresetMMTFXR, threads, nil)
+		r, err := runPoint(ex, a, PresetMMTFXR, threads, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -164,10 +192,11 @@ type Fig5dRow struct {
 }
 
 // Figure5d runs MMT-FXR and reports fetch-mode residency.
-func Figure5d(apps []workloads.App, threads int) ([]Fig5dRow, error) {
+func Figure5d(ex Exec, apps []workloads.App, threads int) ([]Fig5dRow, error) {
+	ex.Schedule(fxrTasks(apps, threads)...)
 	var rows []Fig5dRow
 	for _, a := range apps {
-		r, err := memoRun(a, PresetMMTFXR, threads, nil)
+		r, err := runPoint(ex, a, PresetMMTFXR, threads, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -194,10 +223,20 @@ type Fig6Row struct {
 }
 
 // Figure6 compares energy per job across SMT/MMT at 2 and 4 threads.
-func Figure6(apps []workloads.App) ([]Fig6Row, error) {
+func Figure6(ex Exec, apps []workloads.App) ([]Fig6Row, error) {
+	var tasks []Task
+	for _, a := range apps {
+		for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+			for _, n := range []int{2, 4} {
+				tasks = append(tasks, Task{App: a, Preset: p, Threads: n})
+			}
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var rows []Fig6Row
 	for _, a := range apps {
-		get := func(p Preset, n int) (*Result, error) { return memoRun(a, p, n, nil) }
+		get := func(p Preset, n int) (*Result, error) { return runPoint(ex, a, p, n, nil) }
 		smt2, err := get(PresetBase, 2)
 		if err != nil {
 			return nil, err
@@ -238,6 +277,11 @@ func Figure6(apps []workloads.App) ([]Fig6Row, error) {
 // FHBSizes is the sweep of Fig. 7(a)/(c).
 var FHBSizes = []int{8, 16, 32, 64, 128}
 
+// fhbMutate returns the Fig. 7(a)/(c) configuration hook for one size.
+func fhbMutate(size int) func(*core.Config) {
+	return func(c *core.Config) { c.FHBSize = size }
+}
+
 // Fig7aRow is one application's speedup over Base per FHB size.
 type Fig7aRow struct {
 	App      string
@@ -245,17 +289,25 @@ type Fig7aRow struct {
 }
 
 // Figure7a sweeps the Fetch History Buffer size.
-func Figure7a(apps []workloads.App, threads int) ([]Fig7aRow, error) {
+func Figure7a(ex Exec, apps []workloads.App, threads int) ([]Fig7aRow, error) {
+	var tasks []Task
+	for _, a := range apps {
+		tasks = append(tasks, Task{App: a, Preset: PresetBase, Threads: threads})
+		for _, size := range FHBSizes {
+			tasks = append(tasks, Task{App: a, Preset: PresetMMTFXR, Threads: threads, Mutate: fhbMutate(size)})
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var rows []Fig7aRow
 	for _, a := range apps {
-		base, err := memoRun(a, PresetBase, threads, nil)
+		base, err := runPoint(ex, a, PresetBase, threads, nil)
 		if err != nil {
 			return nil, err
 		}
 		row := Fig7aRow{App: a.Name}
 		for _, size := range FHBSizes {
-			size := size
-			r, err := Run(a, PresetMMTFXR, threads, func(c *core.Config) { c.FHBSize = size })
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, fhbMutate(size))
 			if err != nil {
 				return nil, err
 			}
@@ -275,13 +327,20 @@ type Fig7cRow struct {
 }
 
 // Figure7c sweeps the FHB size and reports mode residency.
-func Figure7c(apps []workloads.App, threads int) ([]Fig7cRow, error) {
+func Figure7c(ex Exec, apps []workloads.App, threads int) ([]Fig7cRow, error) {
+	var tasks []Task
+	for _, a := range apps {
+		for _, size := range FHBSizes {
+			tasks = append(tasks, Task{App: a, Preset: PresetMMTFXR, Threads: threads, Mutate: fhbMutate(size)})
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var rows []Fig7cRow
 	for _, a := range apps {
 		row := Fig7cRow{App: a.Name}
 		for _, size := range FHBSizes {
-			size := size
-			r, err := Run(a, PresetMMTFXR, threads, func(c *core.Config) { c.FHBSize = size })
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, fhbMutate(size))
 			if err != nil {
 				return nil, err
 			}
@@ -299,23 +358,37 @@ func Figure7c(apps []workloads.App, threads int) ([]Fig7cRow, error) {
 // in the paper.
 var LSPortCounts = []int{2, 4, 6, 8, 12}
 
+// lsPortMutate returns the Fig. 7(b) configuration hook for one port count.
+func lsPortMutate(ports int) func(*core.Config) {
+	return func(c *core.Config) {
+		c.LSPorts = ports
+		c.Mem.MSHRs = 4 * ports
+	}
+}
+
 // Figure7b sweeps load/store ports and returns the geomean MMT speedup
 // over Base at each point.
-func Figure7b(apps []workloads.App, threads int) ([]float64, error) {
+func Figure7b(ex Exec, apps []workloads.App, threads int) ([]float64, error) {
+	var tasks []Task
+	for _, ports := range LSPortCounts {
+		for _, a := range apps {
+			for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+				tasks = append(tasks, Task{App: a, Preset: p, Threads: threads, Mutate: lsPortMutate(ports)})
+			}
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var out []float64
 	for _, ports := range LSPortCounts {
-		ports := ports
-		mutate := func(c *core.Config) {
-			c.LSPorts = ports
-			c.Mem.MSHRs = 4 * ports
-		}
+		mutate := lsPortMutate(ports)
 		var sp []float64
 		for _, a := range apps {
-			base, err := Run(a, PresetBase, threads, mutate)
+			base, err := runPoint(ex, a, PresetBase, threads, mutate)
 			if err != nil {
 				return nil, err
 			}
-			r, err := Run(a, PresetMMTFXR, threads, mutate)
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -329,20 +402,34 @@ func Figure7b(apps []workloads.App, threads int) ([]float64, error) {
 // FetchWidths is the sweep of Fig. 7(d).
 var FetchWidths = []int{4, 8, 16, 32}
 
+// fetchWidthMutate returns the Fig. 7(d) configuration hook for one width.
+func fetchWidthMutate(w int) func(*core.Config) {
+	return func(c *core.Config) { c.FetchWidth = w }
+}
+
 // Figure7d sweeps the fetch width and returns the geomean MMT speedup over
 // Base at each point.
-func Figure7d(apps []workloads.App, threads int) ([]float64, error) {
+func Figure7d(ex Exec, apps []workloads.App, threads int) ([]float64, error) {
+	var tasks []Task
+	for _, w := range FetchWidths {
+		for _, a := range apps {
+			for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+				tasks = append(tasks, Task{App: a, Preset: p, Threads: threads, Mutate: fetchWidthMutate(w)})
+			}
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var out []float64
 	for _, w := range FetchWidths {
-		w := w
-		mutate := func(c *core.Config) { c.FetchWidth = w }
+		mutate := fetchWidthMutate(w)
 		var sp []float64
 		for _, a := range apps {
-			base, err := Run(a, PresetBase, threads, mutate)
+			base, err := runPoint(ex, a, PresetBase, threads, mutate)
 			if err != nil {
 				return nil, err
 			}
-			r, err := Run(a, PresetMMTFXR, threads, mutate)
+			r, err := runPoint(ex, a, PresetMMTFXR, threads, mutate)
 			if err != nil {
 				return nil, err
 			}
@@ -357,10 +444,11 @@ func Figure7d(apps []workloads.App, threads int) ([]float64, error) {
 
 // RemergeWithin512 runs MMT-FXR and returns the fraction of remerges found
 // within 512 taken branches, per app (the paper reports ~90% overall).
-func RemergeWithin512(apps []workloads.App, threads int) (map[string]float64, error) {
+func RemergeWithin512(ex Exec, apps []workloads.App, threads int) (map[string]float64, error) {
+	ex.Schedule(fxrTasks(apps, threads)...)
 	out := make(map[string]float64, len(apps))
 	for _, a := range apps {
-		r, err := memoRun(a, PresetMMTFXR, threads, nil)
+		r, err := runPoint(ex, a, PresetMMTFXR, threads, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -381,20 +469,34 @@ type MPRow struct {
 	ExecId  float64 // execute-identical fraction under MMT-FXR
 }
 
-// ExtensionMP runs the message-passing suite: pairwise kernels at 2 ranks
-// and the all-reduce at 4.
-func ExtensionMP() ([]MPRow, error) {
-	var rows []MPRow
-	for _, a := range workloads.MP() {
-		ranks := 2
-		if a.Name == "allreduce-mp" {
-			ranks = 4
+// mpRanks returns the rank count for one message-passing app: pairwise
+// kernels at 2, the all-reduce at 4.
+func mpRanks(a workloads.App) int {
+	if a.Name == "allreduce-mp" {
+		return 4
+	}
+	return 2
+}
+
+// ExtensionMP runs the message-passing suite.
+func ExtensionMP(ex Exec) ([]MPRow, error) {
+	apps := workloads.MP()
+	var tasks []Task
+	for _, a := range apps {
+		for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+			tasks = append(tasks, Task{App: a, Preset: p, Threads: mpRanks(a)})
 		}
-		base, err := Run(a, PresetBase, ranks, nil)
+	}
+	ex.Schedule(tasks...)
+
+	var rows []MPRow
+	for _, a := range apps {
+		ranks := mpRanks(a)
+		base, err := runPoint(ex, a, PresetBase, ranks, nil)
 		if err != nil {
 			return nil, err
 		}
-		fxr, err := Run(a, PresetMMTFXR, ranks, nil)
+		fxr, err := runPoint(ex, a, PresetMMTFXR, ranks, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -419,16 +521,26 @@ type ScalingRow struct {
 
 // ExtensionScaling sweeps hardware thread count 1–4 over all sixteen
 // applications.
-func ExtensionScaling(apps []workloads.App) ([]ScalingRow, error) {
+func ExtensionScaling(ex Exec, apps []workloads.App) ([]ScalingRow, error) {
+	var tasks []Task
+	for n := 1; n <= 4; n++ {
+		for _, a := range apps {
+			for _, p := range []Preset{PresetBase, PresetMMTFXR} {
+				tasks = append(tasks, Task{App: a, Preset: p, Threads: n})
+			}
+		}
+	}
+	ex.Schedule(tasks...)
+
 	var rows []ScalingRow
 	for n := 1; n <= 4; n++ {
 		var sp []float64
 		for _, a := range apps {
-			base, err := memoRun(a, PresetBase, n, nil)
+			base, err := runPoint(ex, a, PresetBase, n, nil)
 			if err != nil {
 				return nil, err
 			}
-			fxr, err := memoRun(a, PresetMMTFXR, n, nil)
+			fxr, err := runPoint(ex, a, PresetMMTFXR, n, nil)
 			if err != nil {
 				return nil, err
 			}

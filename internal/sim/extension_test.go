@@ -11,7 +11,7 @@ import (
 )
 
 func TestExtensionMP(t *testing.T) {
-	rows, err := ExtensionMP()
+	rows, err := ExtensionMP(NewSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestExtensionMP(t *testing.T) {
 }
 
 func TestExtensionCoschedule(t *testing.T) {
-	rows, err := ExtensionCoschedule()
+	rows, err := ExtensionCoschedule(NewSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestCoscheduleRejectsMTApps(t *testing.T) {
 
 func TestAblationSyncPolicy(t *testing.T) {
 	apps := pick(t, "water-ns", "twolf")
-	rows, gms, err := AblationSyncPolicy(apps, 2)
+	rows, gms, err := AblationSyncPolicy(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestAblationSyncPolicy(t *testing.T) {
 
 func TestAblationLVIP(t *testing.T) {
 	apps := pick(t, "libsvm", "ammp")
-	rows, gms, err := AblationLVIP(apps, 2)
+	rows, gms, err := AblationLVIP(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +128,14 @@ func TestAblationLVIP(t *testing.T) {
 
 func TestAblationSweepShapes(t *testing.T) {
 	apps := pick(t, "equake")
-	rows, gms, err := AblationAheadDuty(apps, 2)
+	rows, gms, err := AblationAheadDuty(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows[0].Speedups) != len(AheadDuties) || len(gms) != len(AheadDuties) {
 		t.Error("duty sweep shape")
 	}
-	rows, gms, err = AblationRegMergePorts(apps, 2)
+	rows, gms, err = AblationRegMergePorts(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestPermuteRegistersPreservesSemantics(t *testing.T) {
 }
 
 func TestExtensionDiversity(t *testing.T) {
-	rows, err := ExtensionDiversity()
+	rows, err := ExtensionDiversity(NewSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestExtensionDiversity(t *testing.T) {
 }
 
 func TestExtensionScaling(t *testing.T) {
-	rows, err := ExtensionScaling(pick(t, "water-ns", "swaptions", "twolf"))
+	rows, err := ExtensionScaling(NewSerial(), pick(t, "water-ns", "swaptions", "twolf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestExtensionScaling(t *testing.T) {
 
 func TestAblationMachineScaleShapes(t *testing.T) {
 	apps := pick(t, "swaptions", "ammp")
-	rows, gms, err := AblationMachineScale(apps, 2)
+	rows, gms, err := AblationMachineScale(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestAblationMachineScaleShapes(t *testing.T) {
 
 func TestAblationTraceCacheShapes(t *testing.T) {
 	apps := pick(t, "ammp")
-	rows, gms, err := AblationTraceCache(apps, 2)
+	rows, gms, err := AblationTraceCache(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,31 +291,55 @@ func TestAblationTraceCacheShapes(t *testing.T) {
 	}
 }
 
-func TestMemoCachesUnmutatedRuns(t *testing.T) {
+func TestMemoCachesByResolvedConfig(t *testing.T) {
+	app, ok := workloads.ByName("libsvm")
+	if !ok {
+		t.Fatal("missing app libsvm")
+	}
 	m := NewMemo()
-	r1, err := m.Run("libsvm", PresetBase, 2, nil)
+	point := Task{App: app, Preset: PresetBase, Threads: 2}
+	r1, err := m.Do(point)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := m.Run("libsvm", PresetBase, 2, nil)
+	r2, err := m.Do(point)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1 != r2 {
-		t.Error("second unmutated run not cached")
+		t.Error("second identical run not cached")
 	}
 	if m.Len() != 1 {
 		t.Errorf("cache size %d", m.Len())
 	}
-	// Mutated runs bypass the cache.
-	r3, err := m.Run("libsvm", PresetBase, 2, func(c *core.Config) { c.FHBSize = 8 })
+	// A mutated run keys on its resolved configuration: distinct from the
+	// unmutated point, but shared between equivalent closures.
+	mutated := Task{App: app, Preset: PresetBase, Threads: 2, Mutate: func(c *core.Config) { c.FHBSize = 8 }}
+	r3, err := m.Do(mutated)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3 == r1 || m.Len() != 1 {
-		t.Error("mutated run was cached")
+	if r3 == r1 || m.Len() != 2 {
+		t.Errorf("mutated run shared the unmutated key (len %d)", m.Len())
 	}
-	if _, err := m.Run("nosuch", PresetBase, 2, nil); err == nil {
-		t.Error("unknown app accepted")
+	sameEffect := Task{App: app, Preset: PresetBase, Threads: 2, Mutate: func(c *core.Config) { c.FHBSize = 8 }}
+	r4, err := m.Do(sameEffect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 != r3 || m.Len() != 2 {
+		t.Errorf("equivalent mutation missed the cache (len %d)", m.Len())
+	}
+	// A no-op mutation resolves to the unmutated configuration.
+	noop := Task{App: app, Preset: PresetBase, Threads: 2, Mutate: func(c *core.Config) {}}
+	r5, err := m.Do(noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5 != r1 {
+		t.Error("no-op mutation missed the cache")
+	}
+	if _, err := m.Do(Task{App: app, Preset: Preset("Bogus"), Threads: 2}); err == nil {
+		t.Error("unknown preset accepted")
 	}
 }

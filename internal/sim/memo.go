@@ -1,69 +1,48 @@
 package sim
 
-import (
-	"fmt"
-	"sync"
+import "sync"
 
-	"mmt/internal/core"
-	"mmt/internal/workloads"
-)
-
-// Memo caches simulation results keyed by (app, preset, threads) for the
-// unmodified Table 4 configuration. The experiment drivers re-run the same
-// Base and MMT-FXR points many times (Fig. 5a/5b/5d/6 share them); memoizing
-// those cuts a full mmtbench run roughly in half. Runs with a mutate hook
-// are never cached (the hook's effect is not part of the key).
+// Memo is the in-memory result cache: task outcomes keyed by their
+// content-addressed Task.Key. Because the key covers the fully resolved
+// configuration, mutated runs (sensitivity sweeps) memoize just as safely
+// as the Table 4 points. The memo is an injected dependency of the
+// executors — there is no package-global cache, so tests and parallel
+// batches never share state implicitly.
 type Memo struct {
 	mu sync.Mutex
-	m  map[string]*Result
+	m  map[string]*Outcome
 }
 
 // NewMemo returns an empty cache.
-func NewMemo() *Memo { return &Memo{m: make(map[string]*Result)} }
+func NewMemo() *Memo { return &Memo{m: make(map[string]*Outcome)} }
 
-// Run is Run with caching for unmutated configurations.
-func (mm *Memo) Run(appName string, p Preset, threads int, mutate func(*core.Config)) (*Result, error) {
-	if mutate != nil {
-		return RunByName(appName, p, threads, mutate)
-	}
-	key := fmt.Sprintf("%s/%s/%d", appName, p, threads)
-	mm.mu.Lock()
-	if r, ok := mm.m[key]; ok {
-		mm.mu.Unlock()
-		return r, nil
-	}
-	mm.mu.Unlock()
-	r, err := RunByName(appName, p, threads, nil)
+// Do returns the task's outcome, executing it on the calling goroutine if
+// it is not cached. Errors are not cached; a failed task re-executes on the
+// next Do.
+func (mm *Memo) Do(t Task) (*Outcome, error) {
+	key, err := t.Key()
 	if err != nil {
 		return nil, err
 	}
 	mm.mu.Lock()
-	mm.m[key] = r
+	out, ok := mm.m[key]
 	mm.mu.Unlock()
-	return r, nil
+	if ok {
+		return out, nil
+	}
+	out, err = t.Execute()
+	if err != nil {
+		return nil, err
+	}
+	mm.mu.Lock()
+	mm.m[key] = out
+	mm.mu.Unlock()
+	return out, nil
 }
 
-// Len reports the number of cached results.
+// Len reports the number of cached outcomes.
 func (mm *Memo) Len() int {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	return len(mm.m)
-}
-
-// activeMemo, when set by EnableMemo, caches unmutated runs across
-// experiment drivers: Fig. 5(a)/(b)/(d), Fig. 6, §6.3 and the scaling
-// study share Base/MMT-FXR points, so one mmtbench invocation avoids
-// re-simulating them. Benchmarks and tests leave it disabled.
-var activeMemo *Memo
-
-// EnableMemo turns on cross-experiment caching of unmutated runs for the
-// remainder of the process (used by cmd/mmtbench).
-func EnableMemo() { activeMemo = NewMemo() }
-
-// memoRun routes unmutated runs through the active memo, if any.
-func memoRun(a workloads.App, p Preset, threads int, mutate func(*core.Config)) (*Result, error) {
-	if activeMemo != nil && mutate == nil {
-		return activeMemo.Run(a.Name, p, threads, nil)
-	}
-	return Run(a, p, threads, mutate)
 }

@@ -83,36 +83,11 @@ func (r *Result) IPC() float64 { return r.Stats.IPC() }
 // can adjust the configuration before the run (used by the sensitivity
 // studies).
 func Run(app workloads.App, p Preset, threads int, mutate func(*core.Config)) (*Result, error) {
-	cfg, err := Configure(p, threads)
+	out, err := (Task{App: app, Preset: p, Threads: threads, Mutate: mutate}).Execute()
 	if err != nil {
 		return nil, err
 	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	sys, err := app.Build(threads, p.IdenticalInputs())
-	if err != nil {
-		return nil, err
-	}
-	c, err := core.New(cfg, sys)
-	if err != nil {
-		return nil, err
-	}
-	st, err := c.Run()
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s/%s/%dT: %w", app.Name, p, threads, err)
-	}
-	model := power.NewModel()
-	res := &Result{
-		App:     app.Name,
-		Preset:  p,
-		Threads: threads,
-		Stats:   st,
-		Mem:     c.MemEvents(),
-		Energy:  model.Energy(st, c.MemEvents()),
-	}
-	res.EnergyPerJob = model.EnergyPerJob(st, c.MemEvents())
-	return res, nil
+	return out.Result, nil
 }
 
 // RunByName resolves the application by name and runs it.

@@ -189,7 +189,7 @@ func TestSpeedupAndLimitOrdering(t *testing.T) {
 
 func TestFigure1SmokeTest(t *testing.T) {
 	apps := pick(t, "ammp", "twolf")
-	rows, err := Figure1(apps, 200_000)
+	rows, err := Figure1(NewSerial(), apps, 200_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestFigure1SmokeTest(t *testing.T) {
 
 func TestFigure2SmokeTest(t *testing.T) {
 	apps := pick(t, "equake", "twolf")
-	rows, err := Figure2(apps, 200_000)
+	rows, err := Figure2(NewSerial(), apps, 200_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func pick(t *testing.T, names ...string) []workloads.App {
 
 func TestFigure5SmokeTest(t *testing.T) {
 	apps := pick(t, "swaptions", "blackscholes")
-	rows, gm, err := Figure5Speedups(apps, 2)
+	rows, gm, err := Figure5Speedups(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,14 +280,14 @@ func TestFigure5SmokeTest(t *testing.T) {
 
 func TestFigure5bAnd5dSmokeTest(t *testing.T) {
 	apps := pick(t, "water-ns")
-	b5, err := Figure5b(apps, 2)
+	b5, err := Figure5b(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b5[0].ExecIdent < 0.4 {
 		t.Errorf("water-ns exec-ident = %f", b5[0].ExecIdent)
 	}
-	d5, err := Figure5d(apps, 2)
+	d5, err := Figure5d(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestFigure5bAnd5dSmokeTest(t *testing.T) {
 
 func TestFigure6SmokeTest(t *testing.T) {
 	apps := pick(t, "swaptions")
-	rows, err := Figure6(apps)
+	rows, err := Figure6(NewSerial(), apps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,28 +324,28 @@ func TestFigure7SweepsSmokeTest(t *testing.T) {
 		t.Skip("long")
 	}
 	apps := pick(t, "equake")
-	a7, err := Figure7a(apps, 2)
+	a7, err := Figure7a(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a7[0].Speedups) != len(FHBSizes) {
 		t.Errorf("7a speedups %v", a7[0].Speedups)
 	}
-	c7, err := Figure7c(apps, 2)
+	c7, err := Figure7c(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(c7[0].Merge) != len(FHBSizes) {
 		t.Errorf("7c lengths")
 	}
-	b7, err := Figure7b(apps, 2)
+	b7, err := Figure7b(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(b7) != len(LSPortCounts) {
 		t.Errorf("7b points %v", b7)
 	}
-	d7, err := Figure7d(apps, 2)
+	d7, err := Figure7d(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestFigure7SweepsSmokeTest(t *testing.T) {
 
 func TestRemergeWithin512(t *testing.T) {
 	apps := pick(t, "ammp")
-	m, err := RemergeWithin512(apps, 2)
+	m, err := RemergeWithin512(NewSerial(), apps, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
