@@ -16,6 +16,8 @@
 //	mmtbench -out report.txt
 //	mmtbench -j 4 -cache-dir ~/.cache/mmt   # parallel + warm restarts
 //	mmtbench -timeout 5m -retries 1         # bound and retry stuck jobs
+//	mmtbench -metrics-addr localhost:6060   # live /metrics, expvar, pprof
+//	mmtbench -trace-out runner.trace.json   # per-worker job timeline
 package main
 
 import (

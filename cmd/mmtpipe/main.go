@@ -1,11 +1,13 @@
 // Command mmtpipe traces the pipeline cycle by cycle: per-cycle fetch/
-// rename/issue/commit bandwidth, fetch-group states, and divergence
-// events. It is the debugging companion to mmtsim.
+// rename/issue/commit bandwidth, fetch-group states, and the core's event
+// stream (divergences, remerges, catchups, rollbacks — the same events
+// mmtsim -trace-out records). It is the debugging companion to mmtsim.
 //
 // Usage:
 //
 //	mmtpipe -app equake -preset MMT-FXR -threads 2 -cycles 120
 //	mmtpipe -app twolf -from 500 -cycles 60 -dump 20
+//	mmtpipe -app equake -cycles 200 -stalls
 package main
 
 import (

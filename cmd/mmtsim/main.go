@@ -1,5 +1,8 @@
 // Command mmtsim runs one workload on one simulated core configuration and
-// prints detailed statistics.
+// prints detailed statistics. With -trace-out or -events-out it also
+// captures the core's event stream — divergences, remerges, catchup
+// episodes, rollbacks, fetch-mode and stall edges, plus periodic occupancy
+// samples — as a Perfetto-loadable Chrome trace or a JSONL log.
 //
 // Usage:
 //
@@ -7,6 +10,8 @@
 //	mmtsim -list
 //	mmtsim -app equake -disasm
 //	mmtsim -app equake -preset Base -threads 4 -fhb 64 -fetchwidth 16
+//	mmtsim -app equake -trace-out equake.trace.json -sample-every 500
+//	mmtsim -app ammp -events-out ammp.jsonl -metrics-addr localhost:6060
 package main
 
 import (

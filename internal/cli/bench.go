@@ -8,10 +8,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mmt/internal/core"
+	"mmt/internal/obs"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
 	"mmt/internal/workloads"
@@ -44,9 +47,18 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
 		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
+
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runner's workers (open in Perfetto)")
+		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "interval between worker-utilization samples on the trace")
+		metricsAddr = fs.String("metrics-addr", "", "serve live runner metrics, expvar and pprof on this address")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return runner.Summary{}, err
+	}
+	if *version {
+		printVersion(stdout, "mmtbench")
+		return runner.Summary{}, nil
 	}
 
 	// Validate requested artifact names.
@@ -64,19 +76,47 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	pool, err := runner.New(ctx, runner.Options{
+	opts := runner.Options{
 		Workers:  *jobs,
 		CacheDir: *cacheDir,
 		Timeout:  *timeout,
 		Retries:  *retries,
 		Progress: progress,
-	})
+	}
+	if *metricsAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		srv, err := serveMetrics(*metricsAddr, opts.Metrics, progress)
+		if err != nil {
+			return runner.Summary{}, err
+		}
+		defer srv.Close()
+	}
+	var closeTrace func() error
+	if *traceOut != "" {
+		rec, closeSinks, err := openTraceSinks(*traceOut, "", "mmtbench runner", "worker",
+			map[string]string{"version": Version(), "workers": strconv.Itoa(*jobs)})
+		if err != nil {
+			return runner.Summary{}, err
+		}
+		opts.Trace = rec
+		opts.TraceSampleEvery = *sampleEvery
+		closeTrace = closeSinks
+	}
+	pool, err := runner.New(ctx, opts)
 	if err != nil {
+		if closeTrace != nil {
+			closeTrace()
+		}
 		return runner.Summary{}, err
 	}
 
 	err = writeReport(pool, stdout, *only, *outFile)
 	pool.Close()
+	if closeTrace != nil {
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s := pool.Summary()
 	if progress != nil && s.Jobs > 0 {
 		fmt.Fprint(progress, s.Format())

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mmt/internal/obs"
+)
+
+// openTraceSinks builds the recorder behind the -trace-out / -events-out
+// flags: a Chrome trace-event file (opens in Perfetto or chrome://tracing),
+// a JSONL event log, or both fanned out. The returned close function
+// finalizes every sink and closes the files, reporting the first error —
+// a truncated trace would otherwise silently fail to load in the viewer.
+func openTraceSinks(traceOut, eventsOut, process, trackPrefix string, meta map[string]string) (obs.Recorder, func() error, error) {
+	var (
+		sinks []obs.Recorder
+		files []*os.File
+	)
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			for _, g := range files {
+				g.Close()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	if traceOut != "" {
+		f, err := open(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, obs.NewChromeTrace(f, obs.ChromeTraceConfig{
+			Process: process, TrackPrefix: trackPrefix, Meta: meta,
+		}))
+	}
+	if eventsOut != "" {
+		f, err := open(eventsOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, obs.NewJSONL(f, meta))
+	}
+	rec := obs.Multi(sinks...)
+	closeAll := func() error {
+		err := rec.Close()
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing %s: %w", f.Name(), cerr)
+			}
+		}
+		return err
+	}
+	return rec, closeAll, nil
+}
+
+// serveMetrics starts the -metrics-addr listener and announces it on the
+// progress stream (never stdout, which stays reserved for results).
+func serveMetrics(addr string, reg *obs.Registry, progress io.Writer) (*obs.Server, error) {
+	srv, err := obs.Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "serving metrics on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", srv.Addr())
+	}
+	return srv, nil
+}

@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmt/internal/obs"
+)
+
+// TestRunSimTraceCapture runs mmtsim with both trace outputs and checks
+// that (a) the result on stdout is identical to an untraced run, (b) the
+// Chrome trace is a valid JSON document with the expected structure, and
+// (c) the JSONL log decodes and carries the run's metadata.
+func TestRunSimTraceCapture(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.json")
+	eventsFile := filepath.Join(dir, "events.jsonl")
+
+	var traced bytes.Buffer
+	err := RunSim([]string{"-app", "libsvm", "-threads", "2",
+		"-trace-out", traceFile, "-events-out", eventsFile, "-sample-every", "100"}, &traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var plain bytes.Buffer
+	if err := RunSim([]string{"-app", "libsvm", "-threads", "2"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if traced.String() != plain.String() {
+		t.Errorf("tracing changed the result output:\ntraced: %s\nplain: %s", traced.String(), plain.String())
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace-out produced invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+	if doc.OtherData["app"] != "libsvm" || doc.OtherData["version"] == "" {
+		t.Errorf("trace metadata: %v", doc.OtherData)
+	}
+
+	f, err := os.Open(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines, err := obs.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("-events-out did not decode: %v", err)
+	}
+	if len(lines) < 2 || lines[0].Type != "meta" || lines[0].Meta["app"] != "libsvm" {
+		t.Fatalf("JSONL log malformed: %d lines, first %+v", len(lines), lines[0])
+	}
+	var samples int
+	for _, l := range lines {
+		if l.Type == "sample" {
+			samples++
+		}
+	}
+	if samples == 0 {
+		t.Error("no cycle samples despite -sample-every 100")
+	}
+}
+
+func TestVersionFlags(t *testing.T) {
+	for _, run := range []struct {
+		name string
+		fn   func([]string, *bytes.Buffer) error
+	}{
+		{"mmtsim", func(a []string, b *bytes.Buffer) error { return RunSim(a, b) }},
+		{"mmtpipe", func(a []string, b *bytes.Buffer) error { return RunPipe(a, b) }},
+		{"mmtprofile", func(a []string, b *bytes.Buffer) error { return RunProfile(a, b) }},
+	} {
+		var out bytes.Buffer
+		if err := run.fn([]string{"-version"}, &out); err != nil {
+			t.Fatalf("%s -version: %v", run.name, err)
+		}
+		if !strings.HasPrefix(out.String(), run.name+" ") || !strings.Contains(out.String(), "go1") {
+			t.Errorf("%s -version output: %q", run.name, out.String())
+		}
+	}
+	var out bytes.Buffer
+	if _, err := runBench([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatalf("mmtbench -version: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "mmtbench ") {
+		t.Errorf("mmtbench -version output: %q", out.String())
+	}
+}
+
+// TestRunBenchWorkerTrace captures a runner timeline during a tiny bench
+// run and checks it is a loadable Chrome trace containing job spans.
+func TestRunBenchWorkerTrace(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "runner.json")
+	var out bytes.Buffer
+	if _, err := runBench([]string{"-only", "sec63", "-j", "2", "-trace-out", traceFile}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("worker trace invalid: %v", err)
+	}
+	var spans int
+	for _, r := range doc.TraceEvents {
+		if r.Phase == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("worker trace has no job spans")
+	}
+}

@@ -17,9 +17,14 @@ func RunProfile(args []string, out io.Writer) error {
 	var (
 		appName  = fs.String("app", "", "profile a single application (default: all)")
 		maxInsts = fs.Int("maxinsts", 1_000_000, "per-context dynamic instruction cap")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(out, "mmtprofile")
+		return nil
 	}
 
 	apps := workloads.All()

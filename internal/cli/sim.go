@@ -16,6 +16,7 @@ import (
 
 	"mmt/internal/asm"
 	"mmt/internal/core"
+	"mmt/internal/obs"
 	"mmt/internal/prog"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
@@ -39,9 +40,19 @@ func RunSim(args []string, out io.Writer) error {
 		equ      = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256")
 		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
 		timeout  = fs.Duration("timeout", 0, "simulation wall-clock timeout (0 = none)")
+
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline (open in Perfetto); bypasses the result cache")
+		eventsOut   = fs.String("events-out", "", "write the raw event stream as JSON lines; bypasses the result cache")
+		sampleEvery = fs.Uint64("sample-every", 1000, "cycles between occupancy/IPC samples when tracing (0 = events only)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address while running")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		printVersion(out, "mmtsim")
+		return nil
 	}
 
 	if *list {
@@ -88,16 +99,54 @@ func RunSim(args []string, out io.Writer) error {
 		app = app.Override(overrides)
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := serveMetrics(*metricsAddr, reg, os.Stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	task := sim.Task{App: app, Preset: sim.Preset(*preset), Threads: *threads, Mutate: mutate}
+
+	if *traceOut != "" || *eventsOut != "" {
+		// A traced run must actually simulate: the pool would serve a
+		// cache or memo hit without replaying the event stream, so run
+		// the task inline on this goroutine instead.
+		rec, closeSinks, err := openTraceSinks(*traceOut, *eventsOut, "mmtsim", "thread", map[string]string{
+			"version": Version(),
+			"app":     app.Name,
+			"preset":  *preset,
+			"threads": strconv.Itoa(*threads),
+		})
+		if err != nil {
+			return err
+		}
+		task.Trace = rec
+		task.SampleEvery = *sampleEvery
+		o, err := task.Execute()
+		if cerr := closeSinks(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		printResult(out, o.Result)
+		return nil
+	}
+
 	// Even a single simulation goes through the runner, so mmtsim shares
 	// mmtbench's persistent cache, timeout and panic isolation.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	pool, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir, Timeout: *timeout})
+	pool, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir, Timeout: *timeout, Metrics: reg})
 	if err != nil {
 		return err
 	}
 	defer pool.Close()
-	o, err := pool.Do(sim.Task{App: app, Preset: sim.Preset(*preset), Threads: *threads, Mutate: mutate})
+	o, err := pool.Do(task)
 	if err != nil {
 		return err
 	}
@@ -130,7 +179,7 @@ func printResult(out io.Writer, r *sim.Result) {
 	for t := 0; t < r.Threads; t++ {
 		fmt.Fprintf(out, "  thread %d           %12d\n", t, s.Committed[t])
 	}
-	fmt.Fprintf(out, "fetch operations     %12d\n", s.FetchUops)
+	fmt.Fprintf(out, "fetch operations     %12d\n", s.FetchAccesses)
 	fmt.Fprintf(out, "executed uops        %12d\n", s.IssuedUops)
 	fmt.Fprintf(out, "branches             %12d  (%d mispredicted)\n", s.BranchUops, s.Mispredicts)
 

@@ -6,6 +6,7 @@ import (
 	"mmt/internal/branch"
 	"mmt/internal/cache"
 	"mmt/internal/isa"
+	"mmt/internal/obs"
 	"mmt/internal/prog"
 	"mmt/internal/tracecache"
 )
@@ -52,6 +53,16 @@ type Core struct {
 	// splitNet is the structural split-network model, allocated lazily
 	// for the ValidateSplits debug mode.
 	splitNet *SplitNetwork
+
+	// Observability (Attach): rec receives events and periodic samples;
+	// every emission site guards on rec == nil, so an unattached core
+	// pays one pointer compare per site. cycleStall/lastStall and
+	// lastModeMix drive the stall-cause and fetch-mode edge events.
+	rec         obs.Recorder
+	sampleEvery uint64
+	cycleStall  obs.StallCause
+	lastStall   obs.StallCause
+	lastModeMix uint64
 
 	stats Stats
 }
@@ -176,6 +187,9 @@ func (c *Core) Cycle() {
 	c.fetchStage(now)
 	c.now++
 	c.stats.Cycles = c.now
+	if c.rec != nil {
+		c.observeCycle()
+	}
 }
 
 // Run simulates until every thread drains (halts and empties the

@@ -15,7 +15,7 @@ func TestDebugCycleComparison(t *testing.T) {
 	run := func(name string, cfg Config) {
 		st, c := runCore(t, cfg, loopSrc, prog.ModeME, nil)
 		t.Logf("%s: cycles=%d committed=%d mispredicts=%d fetchUops=%d renamed=%d issued=%d tcHits=%d robFull=%d iqFull=%d fqFull=%d merges=%d div=%d",
-			name, st.Cycles, st.TotalCommitted(), st.Mispredicts, st.FetchUops,
+			name, st.Cycles, st.TotalCommitted(), st.Mispredicts, st.FetchAccesses,
 			st.RenamedUops, st.IssuedUops, st.TraceCacheHits,
 			st.ROBFullStop, st.IQFullStop, st.FetchQFullStop, st.Remerges, st.Divergences)
 		_ = c

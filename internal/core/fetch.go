@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/isa"
+	"mmt/internal/obs"
 )
 
 // group is a set of threads fetching the same instruction stream (one
@@ -139,6 +140,10 @@ func (c *Core) attemptMerges(now uint64) {
 // mergeGroups unifies b into a.
 func (c *Core) mergeGroups(a, b *group) {
 	c.stats.Remerges++
+	if c.rec != nil {
+		pc, _ := c.streams[a.members.First()].nextPC()
+		c.emit(obs.EvRemerge, int32(a.members.First()), pc, uint64((a.members | b.members).Count()))
+	}
 	dist := a.takenSinceDiverge
 	if b.takenSinceDiverge > dist {
 		dist = b.takenSinceDiverge
@@ -237,6 +242,7 @@ func (c *Core) fetchStage(now uint64) {
 			g.catchupInsts += uint64(n)
 			if g.catchupInsts > catchupLimit {
 				c.stats.CatchupsAborted++
+				c.emit(obs.EvCatchupAbort, int32(g.members.First()), 0, g.catchupInsts)
 				c.cancelCatchup(g)
 				g.catchupInsts = 0
 			}
@@ -290,6 +296,7 @@ func (c *Core) fetchGroup(g *group, width int, now uint64) int {
 	for fetched < width {
 		if len(c.fetchQ) >= c.cfg.FetchQueue {
 			c.stats.FetchQFullStop++
+			c.noteStall(obs.StallFetchQ)
 			break
 		}
 		rec, ok := c.streams[leader].peek()
@@ -383,7 +390,7 @@ func (c *Core) buildUop(g *group, leadRec *dynRec, now uint64, traceHit bool) *u
 		c.streams[t].advance()
 	}
 	c.fetchQ = append(c.fetchQ, u)
-	c.stats.FetchUops++
+	c.stats.FetchAccesses++
 	c.stats.FetchedByMode[u.mode] += uint64(g.members.Count())
 
 	if !u.inst.Op.IsControl() {
@@ -494,12 +501,14 @@ func (c *Core) handleControl(g *group, u *uop, now uint64, traceHit bool) *uop {
 		// path redirect — a fixed front-end penalty under a trace hit,
 		// a stall until the branch resolves otherwise.
 		c.stats.RecordDivergencePC(u.pc)
+		c.emit(obs.EvDiverge, int32(leader), u.pc, uint64(len(parts)))
 		subs := c.splitGroup(g, parts)
 		for i, sg := range subs {
 			if partPC[i] == followPath {
 				continue
 			}
 			c.stats.Mispredicts++
+			c.emit(obs.EvMispredict, int32(sg.members.First()), u.pc, 0)
 			if traceHit {
 				if s := now + c.cfg.DivergeRedirectPenalty; s > sg.stallUntil {
 					sg.stallUntil = s
@@ -515,6 +524,7 @@ func (c *Core) handleControl(g *group, u *uop, now uint64, traceHit bool) *uop {
 	// Unanimous outcome: a wrong front-end path stalls the whole group.
 	if u.effs[leader].NextPC != followPath {
 		c.stats.Mispredicts++
+		c.emit(obs.EvMispredict, int32(leader), u.pc, 0)
 		g.waitBranch = u
 		u.stalledGroups = append(u.stalledGroups, g)
 	}
@@ -531,6 +541,7 @@ func (c *Core) updateCatchup(g *group, target uint64) {
 		// positive and we fall back to DETECT (§4.1).
 		if !c.groupFHBContains(g.ahead, target) {
 			c.stats.CatchupsAborted++
+			c.emit(obs.EvCatchupAbort, int32(g.members.First()), target, g.catchupInsts)
 			c.cancelCatchup(g)
 		}
 		return
@@ -545,6 +556,7 @@ func (c *Core) updateCatchup(g *group, target uint64) {
 			g.catchupInsts = 0
 			o.behindCnt++
 			c.stats.CatchupsStarted++
+			c.emit(obs.EvCatchupStart, int32(g.members.First()), target, uint64(o.members.First()))
 			return
 		}
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "mmt/internal/prog"
+import (
+	"mmt/internal/obs"
+	"mmt/internal/prog"
+)
 
 // dataSpace returns the address-space id for thread t's access to addr:
 // multi-threaded workloads share one space, multi-execution processes have
@@ -196,8 +199,13 @@ func (c *Core) lvipRollback(u *uop, now uint64, train bool) {
 		c.lvip.RecordMispredict(u.pc)
 	}
 	affected := u.itid
+	c.emit(obs.EvRollback, int32(affected.First()), u.pc, uint64(affected.Count()))
 
+	squashedBefore := c.stats.SquashedUops
 	c.squashYounger(affected, u.seq, now)
+	if n := c.stats.SquashedUops - squashedBefore; n > 0 {
+		c.emit(obs.EvSquash, int32(affected.First()), u.pc, n)
+	}
 
 	// The load itself survives but its destination becomes per-thread
 	// (distinct mappings), as if the split stage had split it.

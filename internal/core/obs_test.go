@@ -1,0 +1,165 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mmt/internal/asm"
+	"mmt/internal/obs"
+	"mmt/internal/prog"
+)
+
+// TestObsEventsMatchStats runs the divergence workload with a Collector
+// attached and cross-checks the discrete event stream against the final
+// statistics: every counted divergence, remerge, catchup episode and
+// rollback must appear as exactly one event.
+func TestObsEventsMatchStats(t *testing.T) {
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(ctx%2))
+	}
+	sys := buildSys(t, divergeSrc, prog.ModeME, 2, init)
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = 2_000_000
+	c, err := New(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	c.Attach(col, 50)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[obs.EventKind]uint64{}
+	var lastTS uint64
+	for _, e := range col.Events {
+		counts[e.Kind]++
+		if e.TS < lastTS {
+			t.Fatalf("events out of order: %d after %d", e.TS, lastTS)
+		}
+		lastTS = e.TS
+	}
+	for _, chk := range []struct {
+		kind obs.EventKind
+		want uint64
+	}{
+		{obs.EvDiverge, st.Divergences},
+		{obs.EvRemerge, st.Remerges},
+		{obs.EvCatchupStart, st.CatchupsStarted},
+		{obs.EvCatchupAbort, st.CatchupsAborted},
+		{obs.EvRollback, st.LVIPRollbacks},
+		{obs.EvMispredict, st.Mispredicts},
+	} {
+		if counts[chk.kind] != chk.want {
+			t.Errorf("%s events: %d, stats say %d", chk.kind, counts[chk.kind], chk.want)
+		}
+	}
+	if st.Divergences == 0 {
+		t.Fatal("workload produced no divergences; test exercises nothing")
+	}
+
+	// Periodic samples: one every 50 cycles, monotone, final occupancies
+	// drained.
+	if want := st.Cycles / 50; uint64(len(col.Samples)) != want {
+		t.Errorf("%d samples over %d cycles (want %d)", len(col.Samples), st.Cycles, want)
+	}
+	for i := 1; i < len(col.Samples); i++ {
+		if col.Samples[i].TS <= col.Samples[i-1].TS || col.Samples[i].Committed < col.Samples[i-1].Committed {
+			t.Fatalf("samples not monotone at %d: %+v %+v", i, col.Samples[i-1], col.Samples[i])
+		}
+	}
+}
+
+// TestAttachDoesNotChangeSimulation: an attached recorder must observe,
+// never perturb — identical final statistics with and without one.
+func TestAttachDoesNotChangeSimulation(t *testing.T) {
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(ctx%2))
+	}
+	run := func(attach bool) *Stats {
+		sys := buildSys(t, divergeSrc, prog.ModeME, 2, init)
+		cfg := DefaultConfig(2)
+		cfg.MaxCycles = 2_000_000
+		c, err := New(cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			c.Attach(obs.NewCollector(), 10)
+		}
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain, traced := run(false), run(true)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("recorder changed the simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+// TestNilRecorderZeroAllocs pins the disabled-path cost: every emission
+// site is a nil compare, so instrumentation with no recorder attached must
+// allocate nothing.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	sys := buildSys(t, wideLoopSrc, prog.ModeME, 2, nil)
+	c, err := New(DefaultConfig(2), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.emit(obs.EvDiverge, 0, 0x1000, 2)
+		c.noteStall(obs.StallROB)
+	}); allocs != 0 {
+		t.Errorf("nil-recorder emit path allocates %v per run", allocs)
+	}
+}
+
+// BenchmarkCycleNilRecorder measures a full pipeline cycle with no recorder
+// attached — the baseline the instrumentation must not regress. Run with
+// -benchmem: the report asserts the allocation story the package doc
+// promises.
+func BenchmarkCycleNilRecorder(b *testing.B) {
+	benchmarkCycle(b, false)
+}
+
+// BenchmarkCycleCollector is the same loop with a Collector attached, for
+// comparing the enabled-path overhead.
+func BenchmarkCycleCollector(b *testing.B) {
+	benchmarkCycle(b, true)
+}
+
+func benchmarkCycle(b *testing.B, attach bool) {
+	p, err := asm.Assemble("bench", wideLoopSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newCore := func() *Core {
+		sys, err := prog.NewSystem(p, prog.ModeME, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := New(DefaultConfig(2), sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach {
+			col := obs.NewCollector()
+			c.Attach(col, 0)
+		}
+		return c
+	}
+	c := newCore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.allDone() {
+			b.StopTimer()
+			c = newCore()
+			b.StartTimer()
+		}
+		c.Cycle()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/isa"
+	"mmt/internal/obs"
 )
 
 // renameStage moves uops from the fetch queue through the split stage
@@ -58,14 +59,17 @@ func (c *Core) windowSpace(pieces []*uop) bool {
 	}
 	if c.robOcc+len(pieces) > c.cfg.ROBSize {
 		c.stats.ROBFullStop++
+		c.noteStall(obs.StallROB)
 		return false
 	}
 	if c.iqOcc+len(pieces) > c.cfg.IQSize {
 		c.stats.IQFullStop++
+		c.noteStall(obs.StallIQ)
 		return false
 	}
 	if c.lsqOcc+lsq > c.cfg.LSQSize {
 		c.stats.LSQFullStop++
+		c.noteStall(obs.StallLSQ)
 		return false
 	}
 	return true

@@ -17,7 +17,7 @@ type Stats struct {
 	// front-end fetch operations (the shared-fetch saving shows as
 	// FetchAccesses < sum(FetchedByMode)).
 	FetchedByMode [3]uint64
-	FetchUops     uint64
+	FetchAccesses uint64
 
 	// Commit-time classification of per-thread instructions (Fig. 5b).
 	ExecIdentical      uint64 // committed merged (one execution, n threads)

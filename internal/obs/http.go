@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the live-metrics HTTP listener started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and tests (or an mmtsim embedded in a larger
+// process) may start several metrics servers.
+var (
+	expvarOnce sync.Once
+	expvarReg  *Registry
+	expvarMu   sync.Mutex
+)
+
+// Serve starts an HTTP listener on addr exposing the registry at
+// /metrics (Prometheus text format), the standard expvar dump at
+// /debug/vars, and the net/http/pprof profiling handlers under
+// /debug/pprof/. Use addr ":0" for an ephemeral port and Addr to discover
+// it. Close shuts the listener down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+
+	// Publish the registry through expvar exactly once per process; later
+	// servers repoint the published function at their registry.
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("mmt", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the listener's resolved address ("127.0.0.1:43721").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates durations as a Prometheus-style summary: a _seconds_sum
+// and a _seconds_count pair. The zero value is ready.
+type Timer struct {
+	ns atomic.Int64
+	n  atomic.Uint64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.n.Add(1)
+}
+
+// Total returns the accumulated duration and observation count.
+func (t *Timer) Total() (time.Duration, uint64) {
+	return time.Duration(t.ns.Load()), t.n.Load()
+}
+
+// metricKind tags a registry entry for rendering.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindTimer
+)
+
+// metricEntry is one registered metric.
+type metricEntry struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	timer      *Timer
+}
+
+// Registry is a process-local metrics registry rendering the Prometheus
+// text exposition format. Metrics register once by name (get-or-create);
+// updates are lock-free atomics, so hot paths can hold metric handles.
+// Registry implements http.Handler for the /metrics endpoint.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*metricEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// Counter returns the counter registered under name, creating it with the
+// given help text if new. Registering a name twice with different types
+// panics — that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.ensure(name, help, kindCounter)
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.ensure(name, help, kindGauge)
+	return e.gauge
+}
+
+// Timer returns the timer registered under name (exported as
+// name_seconds_sum / name_seconds_count), creating it if new.
+func (r *Registry) Timer(name, help string) *Timer {
+	e := r.ensure(name, help, kindTimer)
+	return e.timer
+}
+
+func (r *Registry) ensure(name, help string, kind metricKind) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", name))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.counter = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindTimer:
+		e.timer = &Timer{}
+	}
+	r.entries[name] = e
+	return e
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.gauge.Value())
+		case kindTimer:
+			sum, n := e.timer.Total()
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n%s_seconds_sum %g\n%s_seconds_count %d\n",
+				e.name, e.help, e.name, e.name, sum.Seconds(), e.name, n)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current values keyed by metric name (timers as
+// "<name>_seconds_sum" and "<name>_seconds_count"), for the expvar
+// endpoint and tests.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.entries))
+	for name, e := range r.entries {
+		switch e.kind {
+		case kindCounter:
+			out[name] = e.counter.Value()
+		case kindGauge:
+			out[name] = e.gauge.Value()
+		case kindTimer:
+			sum, n := e.timer.Total()
+			out[name+"_seconds_sum"] = sum.Seconds()
+			out[name+"_seconds_count"] = n
+		}
+	}
+	return out
+}
+
+// ServeHTTP serves the Prometheus text format (the /metrics endpoint).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w) //nolint:errcheck // client went away; nothing to do
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mmt_test_jobs_total", "Jobs.")
+	g := r.Gauge("mmt_test_depth", "Depth.")
+	tm := r.Timer("mmt_test_run", "Run time.")
+	c.Add(3)
+	g.Set(-2)
+	tm.Observe(1500 * time.Millisecond)
+	tm.Observe(500 * time.Millisecond)
+
+	// Same name returns the same instrument; conflicting kind panics.
+	if r.Counter("mmt_test_jobs_total", "Jobs.") != c {
+		t.Error("re-registration returned a new counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind conflict did not panic")
+			}
+		}()
+		r.Gauge("mmt_test_jobs_total", "Jobs.")
+	}()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP mmt_test_jobs_total Jobs.",
+		"# TYPE mmt_test_jobs_total counter",
+		"mmt_test_jobs_total 3",
+		"# TYPE mmt_test_depth gauge",
+		"mmt_test_depth -2",
+		"# TYPE mmt_test_run summary",
+		"mmt_test_run_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap["mmt_test_jobs_total"] != uint64(3) {
+		t.Errorf("snapshot counter = %v", snap["mmt_test_jobs_total"])
+	}
+	if snap["mmt_test_depth"] != int64(-2) {
+		t.Errorf("snapshot gauge = %v", snap["mmt_test_depth"])
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mmt_test_served_total", "Requests.").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "mmt_test_served_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "\"mmt\"") {
+		t.Errorf("/debug/vars missing mmt var:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	// A second server must not panic on duplicate expvar publication and
+	// must expose its own registry.
+	reg2 := NewRegistry()
+	reg2.Counter("mmt_test_second_total", "Second server.").Add(7)
+	srv2, err := Serve("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+}

@@ -1,0 +1,289 @@
+// Package obs is the observability layer shared by the simulator core and
+// the experiment runner: typed discrete events (divergences, remerges,
+// catchup episodes, rollbacks, job executions, ...), periodic samples of
+// machine occupancy, and a small metrics registry with a Prometheus-style
+// text endpoint.
+//
+// Producers hold a Recorder and guard every emission with a nil check, so
+// a run with observability disabled pays one pointer compare per site and
+// allocates nothing. Three sinks ship with the package: a JSONL event log
+// (JSONLSink), a Chrome trace-event exporter that opens directly in
+// Perfetto or chrome://tracing (ChromeTraceSink), and the live /metrics
+// endpoint (Registry + Serve).
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies a discrete event. The simulator core emits the
+// cycle-domain kinds; the runner emits the wall-clock kinds (EvJob and
+// friends), with timestamps in microseconds since pool start.
+type EventKind uint8
+
+const (
+	// EvDiverge: a fetch group split at a divergent control instruction.
+	// PC is the branch; Arg is the number of resulting subgroups.
+	EvDiverge EventKind = iota
+	// EvRemerge: two fetch groups unified. PC is the common fetch PC
+	// (0 when unknown); Arg is the merged group's member count.
+	EvRemerge
+	// EvCatchupStart: DETECT found a remerge point; a behind group began
+	// catching up. PC is the matched taken-branch target.
+	EvCatchupStart
+	// EvCatchupAbort: a CATCHUP episode was abandoned (FHB false positive
+	// or instruction-budget overrun). Arg is instructions fetched while
+	// catching up.
+	EvCatchupAbort
+	// EvRollback: an LVIP (or shared-load) value mispredict rolled the
+	// affected threads back. PC is the load; Arg is the thread count.
+	EvRollback
+	// EvSquash: uops were squashed by a rollback. Arg is the uop count.
+	EvSquash
+	// EvMispredict: a branch left the front end's followed path. PC is
+	// the control instruction.
+	EvMispredict
+	// EvFetchMode: the live-group fetch-mode mix changed. Arg packs the
+	// per-mode group counts (PackModeMix/UnpackModeMix).
+	EvFetchMode
+	// EvStall: the dominant backpressure cause changed. Arg is a
+	// StallCause.
+	EvStall
+	// EvJob: the runner executed one job. Name is the job label, Track
+	// the worker, Dur the wall-clock duration; Arg counts extra attempts.
+	EvJob
+	// EvJobRetry: one failed attempt was retried. Name is the job label.
+	EvJobRetry
+	// EvCacheHit: a job was served from the persistent result cache.
+	EvCacheHit
+	// EvCounter: a generic named counter sample (Name, Arg = value);
+	// rendered as a counter track by the Chrome exporter.
+	EvCounter
+
+	numEventKinds // internal bound for validation
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvDiverge:      "diverge",
+	EvRemerge:      "remerge",
+	EvCatchupStart: "catchup-start",
+	EvCatchupAbort: "catchup-abort",
+	EvRollback:     "rollback",
+	EvSquash:       "squash",
+	EvMispredict:   "mispredict",
+	EvFetchMode:    "fetch-mode",
+	EvStall:        "stall",
+	EvJob:          "job",
+	EvJobRetry:     "job-retry",
+	EvCacheHit:     "cache-hit",
+	EvCounter:      "counter",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// MarshalText renders the kind as its stable name, so JSONL logs stay
+// grep-able and survive kind renumbering.
+func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name written by MarshalText.
+func (k *EventKind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, n := range eventKindNames {
+		if n == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// TrackMachine is the Track value for machine-wide events not attributable
+// to one hardware thread or worker.
+const TrackMachine int32 = -1
+
+// Event is one discrete occurrence. TS is in the producer's time domain:
+// cycles for the simulator core, microseconds since pool start for the
+// runner. Track identifies the hardware thread or worker (TrackMachine for
+// machine-wide events). Dur, when non-zero, makes the event a span of that
+// many TS units starting at TS; otherwise it is an instant.
+type Event struct {
+	TS    uint64    `json:"ts"`
+	Kind  EventKind `json:"kind"`
+	Track int32     `json:"track"`
+	PC    uint64    `json:"pc,omitempty"`
+	Arg   uint64    `json:"arg,omitempty"`
+	Dur   uint64    `json:"dur,omitempty"`
+	Name  string    `json:"name,omitempty"`
+}
+
+// Label returns the event's display name: Name when set, else the kind.
+func (e Event) Label() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return e.Kind.String()
+}
+
+// Sample is a periodic snapshot of the simulated machine, taken every
+// -sample-every cycles. Committed and the Fetched* counters are cumulative;
+// consumers diff successive samples for interval rates (IPC, fetch-mode
+// mix per interval).
+type Sample struct {
+	TS        uint64 `json:"ts"`
+	Committed uint64 `json:"committed"`
+
+	// Structure occupancies at sample time.
+	FetchQ int `json:"fetchq"`
+	ROB    int `json:"rob"`
+	IQ     int `json:"iq"`
+	LSQ    int `json:"lsq"`
+
+	// Live fetch groups by mode at sample time.
+	GroupsMerge   int `json:"groups_merge"`
+	GroupsDetect  int `json:"groups_detect"`
+	GroupsCatchup int `json:"groups_catchup"`
+
+	// Cumulative per-thread instructions fetched by mode.
+	FetchedMerge   uint64 `json:"fetched_merge"`
+	FetchedDetect  uint64 `json:"fetched_detect"`
+	FetchedCatchup uint64 `json:"fetched_catchup"`
+}
+
+// Recorder receives the event stream. Implementations must tolerate
+// concurrent calls when attached to a concurrent producer (the runner);
+// the simulator core is single-threaded. Producers keep a nil Recorder
+// when observability is off and skip every call.
+type Recorder interface {
+	Event(e Event)
+	Sample(s Sample)
+	// Close flushes and finalizes the sink. The producer that opened the
+	// sink closes it; recorders shared between producers are closed once
+	// by their owner.
+	Close() error
+}
+
+// StallCause identifies the structure whose backpressure stalled the
+// front end (EvStall's Arg).
+type StallCause uint8
+
+const (
+	StallNone StallCause = iota
+	StallFetchQ
+	StallROB
+	StallIQ
+	StallLSQ
+)
+
+func (s StallCause) String() string {
+	switch s {
+	case StallNone:
+		return "none"
+	case StallFetchQ:
+		return "fetchq-full"
+	case StallROB:
+		return "rob-full"
+	case StallIQ:
+		return "iq-full"
+	case StallLSQ:
+		return "lsq-full"
+	}
+	return "?"
+}
+
+// PackModeMix folds per-mode live-group counts into an EvFetchMode Arg.
+func PackModeMix(merge, detect, catchup int) uint64 {
+	return uint64(uint16(merge)) | uint64(uint16(detect))<<16 | uint64(uint16(catchup))<<32
+}
+
+// UnpackModeMix inverts PackModeMix.
+func UnpackModeMix(arg uint64) (merge, detect, catchup int) {
+	return int(uint16(arg)), int(uint16(arg >> 16)), int(uint16(arg >> 32))
+}
+
+// Multi fans the stream out to several sinks. Close closes each sink and
+// returns the first error.
+func Multi(sinks ...Recorder) Recorder {
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		return sinks[0]
+	}
+	return multiSink(sinks)
+}
+
+type multiSink []Recorder
+
+func (m multiSink) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+func (m multiSink) Sample(s Sample) {
+	for _, r := range m {
+		r.Sample(s)
+	}
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Collector is an in-memory Recorder for single-threaded producers (the
+// pipeline tracer, tests): it accumulates events and samples for the
+// caller to drain. It is not safe for concurrent use.
+type Collector struct {
+	Events  []Event
+	Samples []Sample
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Event appends to the event buffer.
+func (c *Collector) Event(e Event) { c.Events = append(c.Events, e) }
+
+// Sample appends to the sample buffer.
+func (c *Collector) Sample(s Sample) { c.Samples = append(c.Samples, s) }
+
+// Close is a no-op.
+func (c *Collector) Close() error { return nil }
+
+// Drain returns the buffered events and resets the buffer, reusing its
+// backing array.
+func (c *Collector) Drain() []Event {
+	out := c.Events
+	c.Events = c.Events[len(c.Events):]
+	return out
+}
+
+// errWriter tracks write errors so streaming sinks can surface the
+// first failure at Close instead of silently truncating.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}

@@ -108,7 +108,7 @@ func (m *Model) Energy(st *core.Stats, ev cache.Events) Breakdown {
 		float64(st.SplitOps)*p.SplitOp +
 		float64(st.RegMergeCompares)*p.RegMergeCheck
 
-	b.Other = float64(st.FetchUops)*p.Fetch +
+	b.Other = float64(st.FetchAccesses)*p.Fetch +
 		float64(st.RenamedUops)*(p.Rename+p.IQWrite) +
 		float64(st.FUOps)*p.FUOp +
 		float64(st.RegReads)*p.RegRead +
@@ -138,7 +138,7 @@ func (m *Model) Detailed(st *core.Stats, ev cache.Events) map[string]float64 {
 		"l1d":       float64(ev.L1DAccesses) * p.L1D,
 		"l2":        float64(ev.L2Accesses) * p.L2,
 		"dram":      float64(ev.DRAMAccesses) * p.DRAM,
-		"fetch":     float64(st.FetchUops) * p.Fetch,
+		"fetch":     float64(st.FetchAccesses) * p.Fetch,
 		"rename":    float64(st.RenamedUops) * (p.Rename + p.IQWrite),
 		"fu":        float64(st.FUOps) * p.FUOp,
 		"regread":   float64(st.RegReads) * p.RegRead,

@@ -10,7 +10,7 @@ import (
 func sampleStats() (*core.Stats, cache.Events) {
 	st := &core.Stats{
 		Cycles:        1000,
-		FetchUops:     4000,
+		FetchAccesses: 4000,
 		RenamedUops:   4000,
 		FUOps:         4000,
 		RegReads:      6000,

@@ -2,7 +2,10 @@
 // simulation tasks across a bounded worker pool with cancellation, per-job
 // timeouts, panic capture and bounded retry, layers a persistent on-disk
 // result cache over the in-memory memo, and reports live progress plus a
-// post-run summary.
+// post-run summary. With Options.Metrics it feeds a live metrics registry
+// (cache hit/miss counters, worker utilization, queue/run timings) for the
+// -metrics-addr endpoint, and with Options.Trace it emits a per-worker
+// job-execution timeline in the obs event stream.
 //
 // The Pool implements sim.Exec, so the experiment drivers in internal/sim
 // are oblivious to whether they run serially or across N workers: they
@@ -22,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"mmt/internal/obs"
 	"mmt/internal/sim"
 )
 
@@ -44,12 +48,28 @@ type Options struct {
 	Progress io.Writer
 	// ProgressEvery is the live-progress refresh period (default 2s).
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, receives the pool's live counters and
+	// gauges — scheduled/executed jobs, cache hits and misses, failures,
+	// retries, busy workers, queue depth, and queue/run wall-clock
+	// timings — for the -metrics-addr /metrics endpoint.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the job-execution timeline: one span
+	// per executed job on its worker's track, instants for cache hits and
+	// retries, and periodic worker-utilization counter samples, all
+	// timestamped in microseconds since pool start. The caller owns the
+	// recorder and closes it after Close.
+	Trace obs.Recorder
+	// TraceSampleEvery is the utilization sampling period for Trace
+	// (default 250ms).
+	TraceSampleEvery time.Duration
 }
 
 // job is one scheduled task and its future outcome.
 type job struct {
 	task sim.Task
 	key  string
+
+	enqueuedAt time.Time // for the queue-latency metric
 
 	done chan struct{} // closed when out/err are final
 	out  *sim.Outcome
@@ -61,6 +81,7 @@ type Pool struct {
 	ctx   context.Context
 	opts  Options
 	cache *diskCache
+	met   *poolMetrics // nil when Options.Metrics is unset
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -75,6 +96,7 @@ type Pool struct {
 	workers      sync.WaitGroup
 	stopWatch    chan struct{}
 	stopProgress chan struct{}
+	stopUtil     chan struct{}
 	closeOnce    sync.Once
 }
 
@@ -85,6 +107,7 @@ type counters struct {
 	failed      int // jobs that finished with an error
 	retries     int // extra attempts consumed
 	invalidated int // corrupt/mismatched cache entries deleted
+	busyWorkers int // workers currently inside run()
 	simTime     time.Duration
 	timings     []JobTiming
 }
@@ -101,6 +124,9 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 	if opts.ProgressEvery <= 0 {
 		opts.ProgressEvery = 2 * time.Second
 	}
+	if opts.TraceSampleEvery <= 0 {
+		opts.TraceSampleEvery = 250 * time.Millisecond
+	}
 	p := &Pool{
 		ctx:          ctx,
 		opts:         opts,
@@ -108,8 +134,12 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 		start:        time.Now(),
 		stopWatch:    make(chan struct{}),
 		stopProgress: make(chan struct{}),
+		stopUtil:     make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	if opts.Metrics != nil {
+		p.met = newPoolMetrics(opts.Metrics)
+	}
 	if opts.CacheDir != "" {
 		c, err := openDiskCache(opts.CacheDir)
 		if err != nil {
@@ -119,11 +149,14 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 	}
 	for i := 0; i < opts.Workers; i++ {
 		p.workers.Add(1)
-		go p.worker()
+		go p.worker(i)
 	}
 	go p.watchCancel()
 	if opts.Progress != nil {
 		go p.progressLoop()
+	}
+	if opts.Trace != nil {
+		go p.utilLoop()
 	}
 	return p, nil
 }
@@ -175,24 +208,38 @@ func (p *Pool) ensure(t sim.Task) (*job, error) {
 	}
 	j := &job{task: t, key: key, done: make(chan struct{})}
 	p.jobs[key] = j
+	if p.met != nil {
+		p.met.scheduled.Inc()
+	}
 	switch {
 	case p.canceled:
 		j.err = p.ctx.Err()
 		p.stats.failed++
+		if p.met != nil {
+			p.met.failed.Inc()
+		}
 		close(j.done)
 	case p.closed:
 		j.err = fmt.Errorf("runner: pool closed")
 		p.stats.failed++
+		if p.met != nil {
+			p.met.failed.Inc()
+		}
 		close(j.done)
 	default:
+		j.enqueuedAt = time.Now()
 		p.queue = append(p.queue, j)
+		if p.met != nil {
+			p.met.queued.Add(1)
+		}
 		p.cond.Signal()
 	}
 	return j, nil
 }
 
-// worker drains the queue until the pool closes or is canceled.
-func (p *Pool) worker() {
+// worker drains the queue until the pool closes or is canceled. id is the
+// worker's track in the job-timeline trace and utilization accounting.
+func (p *Pool) worker(id int) {
 	defer p.workers.Done()
 	for {
 		p.mu.Lock()
@@ -205,8 +252,20 @@ func (p *Pool) worker() {
 		}
 		j := p.queue[0]
 		p.queue = p.queue[1:]
+		p.stats.busyWorkers++
 		p.mu.Unlock()
-		p.run(j)
+		if p.met != nil {
+			p.met.queued.Add(-1)
+			p.met.queueTime.Observe(time.Since(j.enqueuedAt))
+			p.met.busy.Add(1)
+		}
+		p.run(j, id)
+		p.mu.Lock()
+		p.stats.busyWorkers--
+		p.mu.Unlock()
+		if p.met != nil {
+			p.met.busy.Add(-1)
+		}
 	}
 }
 
@@ -223,15 +282,22 @@ func (p *Pool) watchCancel() {
 	for _, j := range p.queue {
 		j.err = p.ctx.Err()
 		p.stats.failed++
+		if p.met != nil {
+			p.met.failed.Inc()
+		}
 		close(j.done)
+	}
+	if p.met != nil {
+		p.met.queued.Set(0)
 	}
 	p.queue = nil
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
 
-// run executes one job: cache lookup, bounded attempts, cache store.
-func (p *Pool) run(j *job) {
+// run executes one job on worker wid: cache lookup, bounded attempts,
+// cache store.
+func (p *Pool) run(j *job, wid int) {
 	if err := p.ctx.Err(); err != nil {
 		p.finish(j, nil, false, 0, err)
 		return
@@ -242,25 +308,42 @@ func (p *Pool) run(j *job) {
 			p.mu.Lock()
 			p.stats.invalidated++
 			p.mu.Unlock()
+			if p.met != nil {
+				p.met.invalidated.Inc()
+			}
 		}
 		if ok {
+			p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvCacheHit,
+				Track: int32(wid), Name: j.task.Name()})
 			p.finish(j, out, true, 0, nil)
 			return
+		}
+		if p.met != nil {
+			p.met.cacheMisses.Inc()
 		}
 	}
 	start := time.Now()
 	var out *sim.Outcome
 	var err error
+	retries := 0
 	for attempt := 0; ; attempt++ {
 		out, err = p.attempt(j.task)
 		if err == nil || attempt >= p.opts.Retries || p.ctx.Err() != nil {
 			break
 		}
+		retries++
 		p.mu.Lock()
 		p.stats.retries++
 		p.mu.Unlock()
+		if p.met != nil {
+			p.met.retries.Inc()
+		}
+		p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvJobRetry,
+			Track: int32(wid), Name: j.task.Name()})
 	}
 	dur := time.Since(start)
+	p.traceEvent(obs.Event{TS: p.sinceStart(start), Kind: obs.EvJob, Track: int32(wid),
+		Name: j.task.Name(), Dur: uint64(dur.Microseconds()), Arg: uint64(retries)})
 	if err == nil && p.cache != nil {
 		if werr := p.cache.store(j.key, j.task, out); werr != nil && p.opts.Progress != nil {
 			fmt.Fprintf(p.opts.Progress, "runner: cache write for %s failed: %v\n", j.task.Name(), werr)
@@ -318,6 +401,19 @@ func (p *Pool) finish(j *job, out *sim.Outcome, fromCache bool, dur time.Duratio
 		p.stats.timings = append(p.stats.timings, JobTiming{Name: j.task.Name(), Duration: dur})
 	}
 	p.mu.Unlock()
+	if p.met != nil {
+		switch {
+		case err != nil:
+			p.met.failed.Inc()
+		case fromCache:
+			p.met.cacheHits.Inc()
+		default:
+			p.met.executed.Inc()
+		}
+		if !fromCache && dur > 0 {
+			p.met.runTime.Observe(dur)
+		}
+	}
 	j.out, j.err = out, err
 	close(j.done)
 }
@@ -333,6 +429,7 @@ func (p *Pool) Close() {
 		p.workers.Wait()
 		close(p.stopWatch)
 		close(p.stopProgress)
+		close(p.stopUtil)
 		p.wall = time.Since(p.start)
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"mmt/internal/core"
+	"mmt/internal/obs"
 	"mmt/internal/power"
 	"mmt/internal/prog"
 	"mmt/internal/trace"
@@ -17,7 +18,10 @@ import (
 // serialization or the simulator's semantics change incompatibly: persistent
 // cache entries written by older binaries then stop matching their keys and
 // the points are re-simulated instead of being served stale.
-const KeySchema = 1
+//
+// Schema history: 2 renamed core.Stats.FetchUops to FetchAccesses (entries
+// written by schema-1 binaries would decode with zero fetch counts).
+const KeySchema = 2
 
 // Task fully describes one unit of experiment work: a timing simulation of
 // one (app, preset, threads) point — possibly with a configuration mutation
@@ -50,6 +54,14 @@ type Task struct {
 	// instructions.
 	Profile  bool
 	MaxInsts int
+	// Trace, when non-nil, is attached to the simulated core, which then
+	// emits discrete events plus one cycle sample every SampleEvery
+	// cycles (0 disables sampling). Tracing never changes the simulated
+	// outcome, so it is NOT part of the key — but executors that serve
+	// outcomes from a cache or memo never replay the event stream, so
+	// traced tasks must Execute directly. Ignored by Profile tasks.
+	Trace       obs.Recorder
+	SampleEvery uint64
 }
 
 // Outcome is a task's product: exactly one of Result (timing simulation)
@@ -165,6 +177,9 @@ func (t Task) Execute() (*Outcome, error) {
 	c, err := core.New(cfg, sys)
 	if err != nil {
 		return nil, err
+	}
+	if t.Trace != nil {
+		c.Attach(t.Trace, t.SampleEvery)
 	}
 	st, err := c.Run()
 	if err != nil {
