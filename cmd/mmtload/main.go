@@ -1,0 +1,27 @@
+// Command mmtload is a load generator for mmtserved. It submits a
+// deterministic stream of bounded simulation jobs — a configurable
+// fraction of which duplicate earlier specs — and reports throughput,
+// client-observed latency quantiles, and how the server sourced the
+// outcomes (fresh simulations vs dedup joins vs the persistent cache).
+//
+// Usage:
+//
+//	mmtload                                    # 32 jobs against 127.0.0.1:8377
+//	mmtload -n 100 -c 16 -dup 0.7              # heavier, 70% duplicates
+//	mmtload -server http://host:9000 -seed 7
+//	mmtload -app twolf -max-insts 50000
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunLoad(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtload:", err)
+		os.Exit(1)
+	}
+}

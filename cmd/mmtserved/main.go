@@ -1,0 +1,39 @@
+// Command mmtserved is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts simulation jobs as JSON, runs them on the
+// internal/runner pool, deduplicates identical submissions into one
+// simulation, and streams progress and outcomes over SSE.
+//
+// The API (see internal/serve):
+//
+//	POST /v1/jobs             submit a job
+//	GET  /v1/jobs/{id}        poll a job
+//	GET  /v1/jobs/{id}/stream follow a job over Server-Sent Events
+//	GET  /v1/healthz          liveness (503 while draining)
+//	GET  /v1/stats            serving counters and latency quantiles
+//
+// Usage:
+//
+//	mmtserved                                  # listen on 127.0.0.1:8377
+//	mmtserved -addr :9000 -j 4 -queue 128
+//	mmtserved -cache-dir ~/.cache/mmt          # warm restarts
+//	mmtserved -deadline 2m                     # default queued-deadline
+//	mmtserved -metrics-addr localhost:6060     # live /metrics, expvar, pprof
+//
+// SIGINT/SIGTERM drains: admission stops (submissions get 503), in-flight
+// jobs finish (bounded by -drain-timeout), then the process exits. A
+// second signal aborts the drain.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunServe(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtserved:", err)
+		os.Exit(1)
+	}
+}

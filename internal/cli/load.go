@@ -1,0 +1,239 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"mmt/internal/obs"
+	"mmt/internal/serve"
+	"mmt/internal/serve/client"
+	"mmt/internal/sim"
+)
+
+// RunLoad is the mmtload command: a load generator for mmtserved. It
+// submits -n jobs at concurrency -c, a -dup fraction of which repeat an
+// earlier spec (exercising the server's single-flight dedup and result
+// cache), and reports throughput, latency quantiles, and how the server
+// sourced the outcomes.
+func RunLoad(args []string, stdout io.Writer) error {
+	return runLoad(args, stdout, os.Stderr)
+}
+
+func runLoad(args []string, stdout, progress io.Writer) error {
+	fs := flag.NewFlagSet("mmtload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		server = fs.String("server", "http://127.0.0.1:8377", "mmtserved base URL")
+		n      = fs.Int("n", 32, "total jobs to submit")
+		conc   = fs.Int("c", 8, "concurrent in-flight jobs")
+		dup    = fs.Float64("dup", 0.5, "fraction of jobs that duplicate an earlier spec [0,1)")
+		seed   = fs.Int64("seed", 1, "workload generator seed (same seed = same job stream)")
+
+		app      = fs.String("app", "libsvm", "workload to submit")
+		preset   = fs.String("preset", "", "design point (empty = server default, MMT-FXR)")
+		threads  = fs.Int("threads", 0, "hardware threads (0 = server default)")
+		maxInsts = fs.Uint64("max-insts", 20000, "per-thread committed-instruction bound (keeps load jobs cheap)")
+
+		deadlineMS  = fs.Int64("deadline-ms", 0, "per-job queued-deadline in milliseconds (0 = server default)")
+		retries     = fs.Int("retries", 4, "client retry budget per request")
+		metricsAddr = fs.String("metrics-addr", "", "serve the load generator's own metrics on this address")
+		eventsOut   = fs.String("events-out", "", "write a JSONL client-side job timeline (one span per job, cache-hit markers)")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		printVersion(stdout, "mmtload")
+		return nil
+	}
+	if *n <= 0 || *conc <= 0 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+	if *dup < 0 || *dup >= 1 {
+		return fmt.Errorf("-dup must be in [0,1)")
+	}
+
+	reg := obs.NewRegistry()
+	submitted := reg.Counter("mmt_load_jobs_total", "Jobs submitted by the load generator.")
+	failures := reg.Counter("mmt_load_failures_total", "Jobs that ended in an error.")
+	latency := reg.Histogram("mmt_load_job_latency_seconds", "Submit-to-outcome latency observed by the client.")
+	if *metricsAddr != "" {
+		msrv, err := serveMetrics(*metricsAddr, reg, progress)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+	}
+	var rec obs.Recorder
+	var closeRec func() error
+	if *eventsOut != "" {
+		r, c, err := openTraceSinks("", *eventsOut, "mmtload", "client",
+			map[string]string{"version": Version(), "server": *server})
+		if err != nil {
+			return err
+		}
+		rec, closeRec = r, c
+	}
+
+	specs := loadSpecs(*n, *dup, *seed, sim.TaskSpec{
+		App: *app, Preset: sim.Preset(*preset), Threads: *threads,
+		Config: &sim.ConfigOverride{MaxInsts: *maxInsts},
+	})
+	unique := map[string]bool{}
+	for _, s := range specs {
+		b, _ := json.Marshal(s)
+		unique[string(b)] = true
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := client.New(*server, nil)
+	c.Retries = *retries
+
+	before, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("reaching %s: %w", *server, err)
+	}
+	fmt.Fprintf(stdout, "mmtload: %d jobs (%d unique specs), concurrency %d, dup ratio %.2f, seed %d -> %s\n",
+		*n, len(unique), *conc, *dup, *seed, *server)
+
+	type result struct {
+		dur time.Duration
+		err error
+	}
+	results := make([]result, len(specs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				_, st, err := c.Run(ctx, serve.SubmitRequest{Task: specs[i], DeadlineMS: *deadlineMS})
+				d := time.Since(t0)
+				results[i] = result{dur: d, err: err}
+				submitted.Inc()
+				latency.Observe(d)
+				if err != nil {
+					failures.Inc()
+				}
+				if rec != nil {
+					ts := uint64(t0.Sub(start) / time.Microsecond)
+					rec.Event(obs.Event{TS: ts, Kind: obs.EvJob, Track: int32(w),
+						Dur: uint64(d / time.Microsecond), Name: specs[i].Name()})
+					if st.Source == "cache" {
+						rec.Event(obs.Event{TS: ts, Kind: obs.EvCacheHit, Track: int32(w), Name: specs[i].Name()})
+					}
+				}
+			}
+		}(w)
+	}
+	for i := range specs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			i = len(specs) // stop feeding; workers drain and exit
+		}
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	var recErr error
+	if closeRec != nil {
+		recErr = closeRec()
+	}
+
+	var durs []time.Duration
+	failed := 0
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if r.dur > 0 {
+			durs = append(durs, r.dur)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	fmt.Fprintf(stdout, "mmtload: done in %s — %.1f jobs/s, %d failed\n",
+		wall.Round(time.Millisecond), float64(len(durs))/wall.Seconds(), failed)
+	if len(durs) > 0 {
+		fmt.Fprintf(stdout, "latency: p50 %s p90 %s p99 %s (min %s max %s)\n",
+			quantileDur(durs, 0.50), quantileDur(durs, 0.90), quantileDur(durs, 0.99),
+			durs[0].Round(time.Millisecond), durs[len(durs)-1].Round(time.Millisecond))
+	}
+	if after, err := c.Stats(context.Background()); err == nil {
+		fmt.Fprintf(stdout, "server:  simulated=%d cache=%d dedup_joins=%d rejected=%d expired=%d\n",
+			after.Simulated-before.Simulated, after.FromCache-before.FromCache,
+			after.Deduped-before.Deduped, after.Rejected-before.Rejected,
+			after.Expired-before.Expired)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("%d/%d jobs failed, first: %w", failed, len(specs), firstErr)
+	}
+	if recErr != nil {
+		return recErr
+	}
+	return ctx.Err()
+}
+
+// loadSpecs builds the deterministic job stream: unique specs vary the
+// FHB size, fetch width and load/store ports (the Fig. 7 knobs), and a
+// dup fraction of positions repeat a random earlier spec.
+func loadSpecs(n int, dup float64, seed int64, base sim.TaskSpec) []sim.TaskSpec {
+	rng := rand.New(rand.NewSource(seed))
+	fhbs := []int{0, 32, 64, 128}
+	widths := []int{0, 2, 8}
+	ports := []int{0, 1, 4}
+	nextUnique := 0
+	variant := func(i int) sim.TaskSpec {
+		s := base
+		cfg := *base.Config
+		cfg.FHBSize = fhbs[i%len(fhbs)]
+		cfg.FetchWidth = widths[(i/len(fhbs))%len(widths)]
+		cfg.LSPorts = ports[(i/(len(fhbs)*len(widths)))%len(ports)]
+		// Past the knob cross-product, nudge the instruction bound to stay
+		// unique without changing the workload's character.
+		cfg.MaxInsts = base.Config.MaxInsts + uint64(i/(len(fhbs)*len(widths)*len(ports)))*512
+		s.Config = &cfg
+		return s
+	}
+	specs := make([]sim.TaskSpec, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Float64() < dup {
+			specs = append(specs, specs[rng.Intn(len(specs))])
+			continue
+		}
+		specs = append(specs, variant(nextUnique))
+		nextUnique++
+	}
+	return specs
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Millisecond)
+}

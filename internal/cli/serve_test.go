@@ -1,0 +1,147 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mmt/internal/obs"
+)
+
+// syncBuffer guards a bytes.Buffer: the daemon's progress stream is
+// written from several goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeAndLoadEndToEnd boots the daemon on an ephemeral port, drives
+// it with the load generator, then drains it with SIGTERM — the same
+// lifecycle the CI smoke step runs against the built binaries.
+func TestServeAndLoadEndToEnd(t *testing.T) {
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var stdout, progress syncBuffer
+	go func() {
+		done <- runServe([]string{"-addr", "127.0.0.1:0", "-j", "2", "-queue", "8"},
+			&stdout, &progress, func(a string) { addrc <- a })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	}
+
+	var loadOut bytes.Buffer
+	if err := runLoad([]string{"-server", "http://" + addr, "-n", "6", "-c", "3",
+		"-dup", "0.5", "-seed", "2"}, &loadOut, io.Discard); err != nil {
+		t.Fatalf("mmtload: %v\n%s", err, loadOut.String())
+	}
+	out := loadOut.String()
+	for _, want := range []string{"jobs/s", "latency: p50", "server:  simulated=", "0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "simulated=0 ") {
+		t.Errorf("load run simulated nothing:\n%s", out)
+	}
+
+	// A second identical run is served without new simulations: every
+	// spec is now in the pool's memo. Its -events-out timeline records a
+	// span per job and a cache-hit marker for each served outcome.
+	events := filepath.Join(t.TempDir(), "load.jsonl")
+	var warm bytes.Buffer
+	if err := runLoad([]string{"-server", "http://" + addr, "-n", "6", "-c", "3",
+		"-dup", "0.5", "-seed", "2", "-events-out", events}, &warm, io.Discard); err != nil {
+		t.Fatalf("warm mmtload: %v", err)
+	}
+	if !strings.Contains(warm.String(), "simulated=0 ") {
+		t.Errorf("warm run re-simulated:\n%s", warm.String())
+	}
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := obs.DecodeJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsSeen, hits := 0, 0
+	for _, l := range lines {
+		if l.Event == nil {
+			continue
+		}
+		switch l.Event.Kind {
+		case obs.EvJob:
+			jobsSeen++
+		case obs.EvCacheHit:
+			hits++
+		}
+	}
+	if jobsSeen != 6 || hits != 6 {
+		t.Errorf("events = %d job spans, %d cache hits; want 6 and 6", jobsSeen, hits)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if got := progress.String(); !strings.Contains(got, "drained, bye") {
+		t.Errorf("progress missing drain farewell:\n%s", got)
+	}
+}
+
+func TestServeVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := runServe([]string{"-version"}, &out, io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mmtserved") {
+		t.Errorf("version output = %q", out.String())
+	}
+	out.Reset()
+	if err := runLoad([]string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mmtload") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
+func TestLoadRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLoad([]string{"-n", "0"}, &out, io.Discard); err == nil {
+		t.Error("-n 0 accepted")
+	}
+	if err := runLoad([]string{"-dup", "1.5"}, &out, io.Discard); err == nil {
+		t.Error("-dup 1.5 accepted")
+	}
+}

@@ -40,6 +40,7 @@ func RunSim(args []string, out io.Writer) error {
 		equ      = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256")
 		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
 		timeout  = fs.Duration("timeout", 0, "simulation wall-clock timeout (0 = none)")
+		outFile  = fs.String("out", "", "also write the outcome as canonical JSON (the cache/wire encoding) to this file")
 
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline (open in Perfetto); bypasses the result cache")
 		eventsOut   = fs.String("events-out", "", "write the raw event stream as JSON lines; bypasses the result cache")
@@ -133,6 +134,9 @@ func RunSim(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := writeOutcome(*outFile, o); err != nil {
+			return err
+		}
 		printResult(out, o.Result)
 		return nil
 	}
@@ -150,8 +154,24 @@ func RunSim(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := writeOutcome(*outFile, o); err != nil {
+		return err
+	}
 	printResult(out, o.Result)
 	return nil
+}
+
+// writeOutcome writes the canonical outcome encoding behind -out; path ""
+// disables it.
+func writeOutcome(path string, o *sim.Outcome) error {
+	if path == "" {
+		return nil
+	}
+	b, err := sim.MarshalOutcome(o)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // parseEqu parses "NAME=VAL,NAME=VAL" override lists.

@@ -3,8 +3,10 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +54,103 @@ func (t *Timer) Total() (time.Duration, uint64) {
 	return time.Duration(t.ns.Load()), t.n.Load()
 }
 
+// DefBuckets are the default latency histogram upper bounds in seconds,
+// spanning sub-millisecond HTTP handling to minute-scale simulations.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram accumulates duration observations into fixed cumulative-style
+// buckets, rendered in the Prometheus histogram exposition format
+// (_bucket{le="..."} series plus _sum and _count). Observations are
+// lock-free atomics, so hot paths can hold histogram handles like they
+// hold counters. Construct with NewHistogram or Registry.Histogram.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; implicit +Inf after the last
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] observations in (bounds[i-1], bounds[i]]
+	sum    atomic.Uint64   // math.Float64bits of the running sum in seconds
+	n      atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds (seconds,
+// ascending); nil bounds selects DefBuckets. Standalone histograms serve
+// callers that need quantile estimates without a registry.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s, len(bounds) for +Inf
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + s)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the accumulated observed time in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the bucket holding the target rank — the usual
+// histogram_quantile estimate. Observations beyond the last bound clamp
+// to it. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[len(h.bounds)-1] // +Inf bucket clamps to the last bound
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			return lo + (hi-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writePrometheus renders the _bucket/_sum/_count series.
+func (h *Histogram) writePrometheus(w io.Writer, name, help string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			name, strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+			return err
+		}
+	}
+	total := h.n.Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, total, name, h.Sum(), name, total)
+	return err
+}
+
 // metricKind tags a registry entry for rendering.
 type metricKind uint8
 
@@ -59,6 +158,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindTimer
+	kindHistogram
 )
 
 // metricEntry is one registered metric.
@@ -68,6 +168,7 @@ type metricEntry struct {
 	counter    *Counter
 	gauge      *Gauge
 	timer      *Timer
+	histogram  *Histogram
 }
 
 // Registry is a process-local metrics registry rendering the Prometheus
@@ -105,6 +206,14 @@ func (r *Registry) Timer(name, help string) *Timer {
 	return e.timer
 }
 
+// Histogram returns the histogram registered under name (exported as
+// name_bucket{le="..."} / name_sum / name_count with DefBuckets bounds),
+// creating it if new.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	e := r.ensure(name, help, kindHistogram)
+	return e.histogram
+}
+
 func (r *Registry) ensure(name, help string, kind metricKind) *metricEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -122,6 +231,8 @@ func (r *Registry) ensure(name, help string, kind metricKind) *metricEntry {
 		e.gauge = &Gauge{}
 	case kindTimer:
 		e.timer = &Timer{}
+	case kindHistogram:
+		e.histogram = NewHistogram(nil)
 	}
 	r.entries[name] = e
 	return e
@@ -150,6 +261,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			sum, n := e.timer.Total()
 			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n%s_seconds_sum %g\n%s_seconds_count %d\n",
 				e.name, e.help, e.name, e.name, sum.Seconds(), e.name, n)
+		case kindHistogram:
+			err = e.histogram.writePrometheus(w, e.name, e.help)
 		}
 		if err != nil {
 			return err
@@ -175,6 +288,9 @@ func (r *Registry) Snapshot() map[string]any {
 			sum, n := e.timer.Total()
 			out[name+"_seconds_sum"] = sum.Seconds()
 			out[name+"_seconds_count"] = n
+		case kindHistogram:
+			out[name+"_sum"] = e.histogram.Sum()
+			out[name+"_count"] = e.histogram.Count()
 		}
 	}
 	return out

@@ -61,6 +61,71 @@ func TestRegistryPrometheus(t *testing.T) {
 	}
 }
 
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 50; i++ {
+		h.Observe(2 * time.Millisecond) // (0.001, 0.0025] bucket
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(400 * time.Millisecond) // (0.25, 0.5] bucket
+	}
+	h.Observe(5 * time.Minute) // beyond the last bound: +Inf bucket
+
+	if h.Count() != 101 {
+		t.Errorf("count = %d", h.Count())
+	}
+	wantSum := 50*0.002 + 50*0.4 + 300.0
+	if got := h.Sum(); got < wantSum-1e-9 || got > wantSum+1e-9 {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	// p50 lands in the (0.25, 0.5] bucket; p99+ clamps toward the tail.
+	if q := h.Quantile(0.5); q <= 0.001 || q > 0.5 {
+		t.Errorf("p50 = %g", q)
+	}
+	if q := h.Quantile(0.25); q > 0.0025 {
+		t.Errorf("p25 = %g, want within the 2ms bucket", q)
+	}
+	if q := h.Quantile(1); q != DefBuckets[len(DefBuckets)-1] {
+		t.Errorf("p100 = %g, want clamp to last bound", q)
+	}
+
+	var empty Histogram
+	if (&empty).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mmt_test_latency", "Latency.")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(700 * time.Millisecond)
+	if r.Histogram("mmt_test_latency", "Latency.") != h {
+		t.Error("re-registration returned a new histogram")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mmt_test_latency histogram",
+		`mmt_test_latency_bucket{le="0.005"} 1`,
+		`mmt_test_latency_bucket{le="1"} 2`,
+		`mmt_test_latency_bucket{le="+Inf"} 2`,
+		"mmt_test_latency_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["mmt_test_latency_count"] != uint64(2) {
+		t.Errorf("snapshot count = %v", snap["mmt_test_latency_count"])
+	}
+}
+
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("mmt_test_served_total", "Requests.").Inc()

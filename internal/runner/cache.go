@@ -20,12 +20,14 @@ type diskCache struct {
 
 // entry is the on-disk format. Task is a human-readable label for people
 // inspecting the cache directory; only Schema, Key and Outcome are load-
-// bearing.
+// bearing. Outcome is the canonical encoding from sim.MarshalOutcome —
+// the same bytes the serving API ships — kept raw here so the envelope
+// never re-interprets it.
 type entry struct {
-	Schema  int          `json:"schema"`
-	Key     string       `json:"key"`
-	Task    string       `json:"task"`
-	Outcome *sim.Outcome `json:"outcome"`
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	Task    string          `json:"task"`
+	Outcome json.RawMessage `json:"outcome"`
 }
 
 // openDiskCache creates the directory if needed.
@@ -50,27 +52,34 @@ func (c *diskCache) load(key string, t sim.Task) (out *sim.Outcome, ok, invalida
 		return nil, false, false
 	}
 	var e entry
-	if err := json.Unmarshal(b, &e); err != nil || !c.valid(&e, key, t) {
+	if err := json.Unmarshal(b, &e); err != nil || e.Schema != sim.KeySchema || e.Key != key {
 		os.Remove(c.path(key))
 		return nil, false, true
 	}
-	return e.Outcome, true, false
+	out, err = sim.UnmarshalOutcome(e.Outcome)
+	if err != nil || !shapeMatches(out, t) {
+		os.Remove(c.path(key))
+		return nil, false, true
+	}
+	return out, true, false
 }
 
-// valid checks an entry against the key and the task's expected shape.
-func (c *diskCache) valid(e *entry, key string, t sim.Task) bool {
-	if e.Schema != sim.KeySchema || e.Key != key || e.Outcome == nil {
-		return false
-	}
+// shapeMatches checks the decoded outcome against the task's expected
+// kind (the codec already validated internal consistency).
+func shapeMatches(out *sim.Outcome, t sim.Task) bool {
 	if t.Profile {
-		return e.Outcome.Profile != nil
+		return out.Profile != nil
 	}
-	return e.Outcome.Result != nil && e.Outcome.Result.Stats != nil
+	return out.Result != nil
 }
 
 // store writes an entry atomically (temp file + rename).
 func (c *diskCache) store(key string, t sim.Task, out *sim.Outcome) error {
-	b, err := json.Marshal(entry{Schema: sim.KeySchema, Key: key, Task: t.Name(), Outcome: out})
+	raw, err := sim.MarshalOutcome(out)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(entry{Schema: sim.KeySchema, Key: key, Task: t.Name(), Outcome: raw})
 	if err != nil {
 		return err
 	}

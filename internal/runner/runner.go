@@ -18,6 +18,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -28,6 +29,27 @@ import (
 	"mmt/internal/obs"
 	"mmt/internal/sim"
 )
+
+// ErrClosed is returned by Do and Schedule on a pool whose Close has been
+// called. The post-Close contract: no new work is accepted, every job
+// accepted before Close still resolves, and callers distinguish "pool
+// shut down" (ErrClosed) from "batch canceled" (the context's error).
+// The job server's drain path relies on this being a stable sentinel.
+var ErrClosed = errors.New("runner: pool closed")
+
+// Completion describes one resolved job, delivered to Options.OnComplete.
+type Completion struct {
+	// Key is the task's content-addressed identity; Name its display label.
+	Key, Name string
+	// FromCache reports the outcome was served from the persistent result
+	// cache rather than simulated.
+	FromCache bool
+	// Dur is the executed simulation's wall clock (zero for cache hits
+	// and cancellations).
+	Dur time.Duration
+	// Err is the job's final error, nil on success.
+	Err error
+}
 
 // Options configures a Pool.
 type Options struct {
@@ -62,6 +84,13 @@ type Options struct {
 	// TraceSampleEvery is the utilization sampling period for Trace
 	// (default 250ms).
 	TraceSampleEvery time.Duration
+	// OnComplete, when non-nil, is called once per job when its outcome
+	// becomes final — after the result is recorded but before waiters
+	// blocked in Do unblock, so a caller that observes Do returning is
+	// guaranteed the hook already ran for that key. It executes on the
+	// worker (or cancellation-watcher) goroutine: keep it fast and do not
+	// call back into the pool.
+	OnComplete func(Completion)
 }
 
 // job is one scheduled task and its future outcome.
@@ -163,13 +192,18 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 
 // Schedule enqueues tasks for the workers; tasks whose key is already
 // known are deduplicated. Scheduling is asynchronous — collect outcomes
-// with Do.
-func (p *Pool) Schedule(tasks ...sim.Task) {
+// with Do. It returns ErrClosed on a closed pool, the context's error
+// after cancellation, or the first keying error; drivers that collect
+// every outcome with Do may ignore it, because Do reports the same
+// condition per task.
+func (p *Pool) Schedule(tasks ...sim.Task) error {
+	var first error
 	for _, t := range tasks {
-		// A task that cannot be keyed cannot be deduplicated or cached;
-		// Do reports the keying error when the outcome is collected.
-		p.ensure(t) //nolint:errcheck
+		if _, err := p.ensure(t); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Do returns the task's outcome, scheduling it if it is not already
@@ -195,7 +229,9 @@ func (p *Pool) Do(t sim.Task) (*sim.Outcome, error) {
 }
 
 // ensure returns the job for the task's key, creating and enqueueing it if
-// new.
+// new. A closed pool refuses new keys with ErrClosed and a canceled pool
+// with its context's error — existing keys still resolve, so late Do calls
+// collecting an already-scheduled batch keep working after Close.
 func (p *Pool) ensure(t sim.Task) (*job, error) {
 	key, err := t.Key()
 	if err != nil {
@@ -206,34 +242,20 @@ func (p *Pool) ensure(t sim.Task) (*job, error) {
 	if j, ok := p.jobs[key]; ok {
 		return j, nil
 	}
-	j := &job{task: t, key: key, done: make(chan struct{})}
+	if p.canceled {
+		return nil, p.ctx.Err()
+	}
+	if p.closed {
+		return nil, ErrClosed
+	}
+	j := &job{task: t, key: key, done: make(chan struct{}), enqueuedAt: time.Now()}
 	p.jobs[key] = j
+	p.queue = append(p.queue, j)
 	if p.met != nil {
 		p.met.scheduled.Inc()
+		p.met.queued.Add(1)
 	}
-	switch {
-	case p.canceled:
-		j.err = p.ctx.Err()
-		p.stats.failed++
-		if p.met != nil {
-			p.met.failed.Inc()
-		}
-		close(j.done)
-	case p.closed:
-		j.err = fmt.Errorf("runner: pool closed")
-		p.stats.failed++
-		if p.met != nil {
-			p.met.failed.Inc()
-		}
-		close(j.done)
-	default:
-		j.enqueuedAt = time.Now()
-		p.queue = append(p.queue, j)
-		if p.met != nil {
-			p.met.queued.Add(1)
-		}
-		p.cond.Signal()
-	}
+	p.cond.Signal()
 	return j, nil
 }
 
@@ -279,20 +301,24 @@ func (p *Pool) watchCancel() {
 	}
 	p.mu.Lock()
 	p.canceled = true
-	for _, j := range p.queue {
+	failed := p.queue
+	p.queue = nil
+	p.stats.failed += len(failed)
+	if p.met != nil {
+		p.met.queued.Set(0)
+		p.met.failed.Add(uint64(len(failed)))
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	// Resolve the failed jobs outside the lock: the completion hook runs
+	// before each job's waiters unblock, same as the worker path.
+	for _, j := range failed {
 		j.err = p.ctx.Err()
-		p.stats.failed++
-		if p.met != nil {
-			p.met.failed.Inc()
+		if p.opts.OnComplete != nil {
+			p.opts.OnComplete(Completion{Key: j.key, Name: j.task.Name(), Err: j.err})
 		}
 		close(j.done)
 	}
-	if p.met != nil {
-		p.met.queued.Set(0)
-	}
-	p.queue = nil
-	p.cond.Broadcast()
-	p.mu.Unlock()
 }
 
 // run executes one job on worker wid: cache lookup, bounded attempts,
@@ -415,6 +441,10 @@ func (p *Pool) finish(j *job, out *sim.Outcome, fromCache bool, dur time.Duratio
 		}
 	}
 	j.out, j.err = out, err
+	if p.opts.OnComplete != nil {
+		p.opts.OnComplete(Completion{Key: j.key, Name: j.task.Name(),
+			FromCache: fromCache, Dur: dur, Err: err})
+	}
 	close(j.done)
 }
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -354,6 +355,77 @@ func TestUnkeyableTaskReported(t *testing.T) {
 		t.Error("unknown preset accepted")
 	}
 	p.Close()
+}
+
+func TestClosedPoolReturnsErrClosed(t *testing.T) {
+	p := newPool(t, context.Background(), Options{Workers: 1})
+	done := cheapTask(t, "libsvm", 20000)
+	out, err := p.Do(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// New keys are refused with the sentinel, by Do and Schedule alike.
+	fresh := cheapTask(t, "twolf", 20000)
+	if _, err := p.Do(fresh); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Schedule(fresh); !errors.Is(err, ErrClosed) {
+		t.Errorf("Schedule after Close = %v, want ErrClosed", err)
+	}
+	// Keys resolved before Close still collect: the drain pattern is
+	// "stop submitting, then gather what was already accepted".
+	again, err := p.Do(done)
+	if err != nil || again != out {
+		t.Errorf("pre-Close key lost after Close: %v", err)
+	}
+	// The refused task never entered the accounting.
+	if s := p.Summary(); s.Jobs != 1 || s.Failed != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	comps := map[string]Completion{}
+	hook := func(c Completion) {
+		mu.Lock()
+		comps[c.Key] = c
+		mu.Unlock()
+	}
+	task := cheapTask(t, "libsvm", 20000)
+	key, err := task.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1 := newPool(t, context.Background(), Options{Workers: 1, CacheDir: dir, OnComplete: hook})
+	if _, err := p1.Do(task); err != nil {
+		t.Fatal(err)
+	}
+	// OnComplete runs before Do returns, so no synchronization beyond the
+	// hook's own lock is needed here.
+	mu.Lock()
+	c, ok := comps[key]
+	mu.Unlock()
+	if !ok || c.FromCache || c.Err != nil || c.Dur <= 0 || c.Name != task.Name() {
+		t.Errorf("cold completion = %+v (ok=%v)", c, ok)
+	}
+	p1.Close()
+
+	p2 := newPool(t, context.Background(), Options{Workers: 1, CacheDir: dir, OnComplete: hook})
+	if _, err := p2.Do(task); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	c = comps[key]
+	mu.Unlock()
+	if !c.FromCache {
+		t.Errorf("warm completion not marked FromCache: %+v", c)
+	}
+	p2.Close()
 }
 
 func mustApp(t *testing.T, name string) workloads.App {

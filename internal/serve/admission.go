@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"container/heap"
+	"math"
+	"net/http"
+	"time"
+
+	"mmt/internal/sim"
+)
+
+// flight is one admitted simulation: the single execution shared by every
+// job whose task resolved to the same content-addressed key. A flight in
+// s.flights is joinable (queued or running); it leaves the map when it
+// resolves, after which identical submissions admit a fresh flight that
+// the pool then serves from its caches.
+type flight struct {
+	key      string
+	task     sim.Task
+	priority int    // max over its jobs'
+	seq      uint64 // admission order, the priority tiebreak
+	index    int    // heap position; -1 once dispatched
+	running  bool
+	jobs     []*Job
+}
+
+// flightQueue is a max-heap: higher priority first, then earlier
+// admission.
+type flightQueue []*flight
+
+func (q flightQueue) Len() int { return len(q) }
+func (q flightQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q flightQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *flightQueue) Push(x any) {
+	f := x.(*flight)
+	f.index = len(*q)
+	*q = append(*q, f)
+}
+func (q *flightQueue) Pop() any {
+	old := *q
+	f := old[len(old)-1]
+	old[len(old)-1] = nil
+	f.index = -1
+	*q = old[:len(old)-1]
+	return f
+}
+
+// popFlightLocked removes the next flight to dispatch (caller holds mu).
+func (s *Server) popFlightLocked() *flight {
+	f := heap.Pop(&s.queue).(*flight)
+	if s.met != nil {
+		s.met.queueDepth.Set(int64(len(s.queue)))
+	}
+	return f
+}
+
+// queuePositionLocked is a job's 1-based dispatch rank (caller holds mu).
+func (s *Server) queuePositionLocked(key string) int {
+	f, ok := s.flights[key]
+	if !ok || f.index < 0 {
+		return 0
+	}
+	rank := 1
+	for _, g := range s.queue {
+		if g != f && (g.priority > f.priority || (g.priority == f.priority && g.seq < f.seq)) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// submit admits, deduplicates, or rejects one submission. A *httpError
+// return carries the status code (and Retry-After for 429).
+func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
+	task, err := s.opts.Resolve(req.Task)
+	if err != nil {
+		return JobStatus{}, badRequest("resolving task: %v", err)
+	}
+	key, err := task.Key()
+	if err != nil {
+		return JobStatus{}, badRequest("keying task: %v", err)
+	}
+	now := time.Now()
+	var deadline time.Time
+	switch {
+	case req.DeadlineMS > 0:
+		deadline = now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	case s.opts.DefaultDeadline > 0:
+		deadline = now.Add(s.opts.DefaultDeadline)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return JobStatus{}, &httpError{status: http.StatusServiceUnavailable,
+			msg: "server is draining; not accepting new jobs"}
+	}
+	s.counts.submitted++
+	if s.met != nil {
+		s.met.submitted.Inc()
+	}
+
+	// Single-flight dedup: identical work in flight absorbs the
+	// submission without consuming a queue slot.
+	if f, ok := s.flights[key]; ok {
+		j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, true, now)
+		f.jobs = append(f.jobs, j)
+		if j.priority > f.priority {
+			f.priority = j.priority
+			if f.index >= 0 {
+				heap.Fix(&s.queue, f.index)
+			}
+		}
+		if f.running {
+			j.state = StateRunning
+			j.started = now
+		}
+		s.counts.deduped++
+		if s.met != nil {
+			s.met.deduped.Inc()
+		}
+		return s.snapshotLocked(j, now), nil
+	}
+
+	if len(s.queue) >= s.opts.MaxQueue {
+		s.counts.rejected++
+		if s.met != nil {
+			s.met.rejected.Inc()
+		}
+		return JobStatus{}, &httpError{
+			status:     http.StatusTooManyRequests,
+			msg:        "admission queue full",
+			retryAfter: s.retryAfterLocked(),
+		}
+	}
+
+	j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, false, now)
+	s.seq++
+	f := &flight{key: key, task: task, priority: req.Priority, seq: s.seq, jobs: []*Job{j}}
+	s.flights[key] = f
+	heap.Push(&s.queue, f)
+	s.admitted++
+	if s.met != nil {
+		s.met.queueDepth.Set(int64(len(s.queue)))
+	}
+	s.cond.Signal()
+	return s.snapshotLocked(j, now), nil
+}
+
+// retryAfterLocked estimates when a queue slot will free: queue length
+// over dispatch parallelism times the average executed-flight duration,
+// floored at RetryAfterMin and capped at a minute (caller holds mu).
+func (s *Server) retryAfterLocked() time.Duration {
+	est := s.opts.RetryAfterMin
+	if s.runN > 0 {
+		avg := s.runSum / time.Duration(s.runN)
+		waves := math.Ceil(float64(len(s.queue)) / float64(s.opts.Dispatchers))
+		if d := time.Duration(waves) * avg; d > est {
+			est = d
+		}
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// dispatch is one dispatcher goroutine: it drains the flight queue in
+// priority order, runs each flight on the pool, and fans the outcome out
+// to the flight's jobs.
+func (s *Server) dispatch() {
+	defer s.dispatchers.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		f := s.popFlightLocked()
+		f.running = true
+		now := time.Now()
+		live := 0
+		for _, j := range f.jobs {
+			if j.state != StateQueued {
+				continue // expired via a lazy snapshot check
+			}
+			if !j.deadline.IsZero() && now.After(j.deadline) {
+				s.expireLocked(j, now)
+				continue
+			}
+			j.state = StateRunning
+			j.started = now
+			live++
+		}
+		if live == 0 {
+			// Every member expired in the queue: release the admission
+			// slot without running anything.
+			s.resolveFlightLocked(f, nil, nil, "", now)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+
+		if s.met != nil {
+			s.met.running.Add(1)
+		}
+		started := time.Now()
+		out, err := s.pool.Do(f.task)
+		dur := time.Since(started)
+		if s.met != nil {
+			s.met.running.Add(-1)
+		}
+
+		// The pool fires OnComplete before Do returns, so if this dispatch
+		// made the pool finalize the key, its completion is recorded. No
+		// completion means the pool's in-memory memo answered — an earlier
+		// flight already finalized the key — which is a cache hit too.
+		comp, haveComp := s.takeCompletion(f.key)
+		source := "cache"
+		if haveComp && !comp.FromCache {
+			source = "simulated"
+		}
+		var raw []byte
+		if err == nil {
+			raw, err = sim.MarshalOutcome(out)
+		}
+
+		s.mu.Lock()
+		if err == nil {
+			if source == "cache" {
+				s.counts.fromCache++
+				if s.met != nil {
+					s.met.cacheServed.Inc()
+				}
+			} else {
+				s.counts.simulated++
+				s.runSum += dur
+				s.runN++
+				if s.met != nil {
+					s.met.simulated.Inc()
+				}
+			}
+		}
+		s.resolveFlightLocked(f, raw, err, source, time.Now())
+		s.mu.Unlock()
+	}
+}
+
+// resolveFlightLocked finishes a flight: every non-expired member job
+// turns terminal and its waiters wake (caller holds mu).
+func (s *Server) resolveFlightLocked(f *flight, raw []byte, err error, source string, now time.Time) {
+	delete(s.flights, f.key)
+	s.admitted--
+	for _, j := range f.jobs {
+		if j.state.Terminal() {
+			continue
+		}
+		j.finished = now
+		if err != nil {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			s.counts.failed++
+			if s.met != nil {
+				s.met.failed.Inc()
+			}
+		} else {
+			j.state = StateDone
+			j.outcome = raw
+			j.source = source
+			s.counts.completed++
+			if s.met != nil {
+				s.met.completed.Inc()
+			}
+		}
+		s.jobLatency.Observe(now.Sub(j.submitted))
+		close(j.done)
+	}
+}

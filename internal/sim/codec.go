@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mmt/internal/core"
+	"mmt/internal/workloads"
+)
+
+// This file is the canonical JSON codec for the experiment subsystem's two
+// wire types. TaskSpec is the declarative, serializable description of a
+// Task — everything a remote caller may express, nothing that requires a
+// closure — and MarshalOutcome/UnmarshalOutcome are the single encoding of
+// a task's product. The persistent result cache, the job server's HTTP
+// API, and mmtsim's -out files all go through these functions, so the
+// serving layer can never drift from the cache-key schema: a TaskSpec
+// resolves to a Task whose Key is the same content-addressed hash the
+// cache files embed.
+
+// ConfigOverride is the declarative counterpart of Task.Mutate: the
+// configuration knobs a remote submission may adjust. Zero fields leave
+// the preset's Table 4/5 value in place. The overrides enter the resolved
+// configuration and therefore the task key, exactly like a Mutate closure
+// with the same effect.
+type ConfigOverride struct {
+	// FHBSize overrides the Fetch History Buffer entries (Fig. 7(a) knob).
+	FHBSize int `json:"fhb_size,omitempty"`
+	// FetchWidth overrides the fetch width (Fig. 7(d) knob).
+	FetchWidth int `json:"fetch_width,omitempty"`
+	// LSPorts overrides the load/store ports; MSHRs scale with the ports
+	// as in Fig. 7(b).
+	LSPorts int `json:"ls_ports,omitempty"`
+	// MaxInsts bounds per-thread committed instructions — the knob for
+	// cheap bounded jobs (load tests, smoke runs). 0 = no bound.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+}
+
+// zero reports whether the override changes nothing.
+func (o *ConfigOverride) zero() bool {
+	return o == nil || *o == ConfigOverride{}
+}
+
+// apply folds the overrides into a resolved configuration.
+func (o *ConfigOverride) apply(c *core.Config) {
+	if o.FHBSize > 0 {
+		c.FHBSize = o.FHBSize
+	}
+	if o.FetchWidth > 0 {
+		c.FetchWidth = o.FetchWidth
+	}
+	if o.LSPorts > 0 {
+		c.LSPorts = o.LSPorts
+		c.Mem.MSHRs = 4 * o.LSPorts
+	}
+	if o.MaxInsts > 0 {
+		c.MaxInsts = o.MaxInsts
+	}
+}
+
+// TaskSpec is the JSON-serializable subset of Task: what a job submission
+// on the wire may describe. It cannot express Build/Mutate closures or an
+// attached trace recorder — those exist only in-process. Resolve with
+// Task; the resolved task's Key is the identity the server, the runner,
+// and the persistent cache all share.
+type TaskSpec struct {
+	// App names the workload (workloads.ByName).
+	App string `json:"app"`
+	// Equ rebinds `.equ` constants in the workload's assembly source
+	// (workloads.App.Override) — the knob for scaling iteration counts.
+	Equ map[string]int64 `json:"equ,omitempty"`
+	// Preset selects the Table 5 design point; empty means MMT-FXR.
+	Preset Preset `json:"preset,omitempty"`
+	// Threads is the hardware thread count; 0 means 2.
+	Threads int `json:"threads,omitempty"`
+	// Profile switches to the §3 trace-alignment study; MaxInsts bounds
+	// per-context dynamic instructions for it.
+	Profile  bool `json:"profile,omitempty"`
+	MaxInsts int  `json:"max_insts,omitempty"`
+	// Config optionally adjusts the resolved configuration.
+	Config *ConfigOverride `json:"config,omitempty"`
+}
+
+// Task resolves the spec into an executable Task, applying defaults
+// (MMT-FXR, 2 threads) and validating the workload and preset eagerly so
+// a bad submission fails at admission rather than on a worker.
+func (s TaskSpec) Task() (Task, error) {
+	app, ok := workloads.ByName(s.App)
+	if !ok {
+		return Task{}, fmt.Errorf("sim: unknown application %q", s.App)
+	}
+	if len(s.Equ) > 0 {
+		app = app.Override(s.Equ)
+	}
+	preset := s.Preset
+	if preset == "" {
+		preset = PresetMMTFXR
+	}
+	threads := s.Threads
+	if threads == 0 {
+		threads = 2
+	}
+	t := Task{
+		App:      app,
+		Preset:   preset,
+		Threads:  threads,
+		Profile:  s.Profile,
+		MaxInsts: s.MaxInsts,
+	}
+	if ov := s.Config; !ov.zero() {
+		o := *ov // copy, so the closure does not alias caller memory
+		t.Mutate = o.apply
+	}
+	if !s.Profile {
+		// Validates the preset and the override's interaction with it.
+		if _, err := t.ResolvedConfig(); err != nil {
+			return Task{}, err
+		}
+	}
+	return t, nil
+}
+
+// Name returns the resolved task's display label without building the
+// workload (for error paths where Task() already failed).
+func (s TaskSpec) Name() string {
+	t := Task{App: workloads.App{Name: s.App}, Preset: s.Preset, Threads: s.Threads,
+		Profile: s.Profile}
+	if t.Preset == "" {
+		t.Preset = PresetMMTFXR
+	}
+	if t.Threads == 0 {
+		t.Threads = 2
+	}
+	return t.Name()
+}
+
+// Validate checks the outcome's shape: exactly one of Result or Profile
+// is set, and a Result carries its statistics. Both codec directions
+// enforce it, so a torn or hand-edited blob is rejected instead of
+// decoding into an empty outcome.
+func (o *Outcome) Validate() error {
+	switch {
+	case o == nil:
+		return fmt.Errorf("sim: nil outcome")
+	case o.Result != nil && o.Profile != nil:
+		return fmt.Errorf("sim: outcome has both a result and a profile")
+	case o.Result == nil && o.Profile == nil:
+		return fmt.Errorf("sim: outcome has neither a result nor a profile")
+	case o.Result != nil && o.Result.Stats == nil:
+		return fmt.Errorf("sim: result outcome without statistics")
+	}
+	return nil
+}
+
+// MarshalOutcome renders the canonical JSON encoding of an outcome — the
+// one format shared by the persistent result cache, the serving API, and
+// -out files.
+func MarshalOutcome(o *Outcome) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(o)
+}
+
+// UnmarshalOutcome decodes and validates a canonical outcome blob.
+func UnmarshalOutcome(b []byte) (*Outcome, error) {
+	var o Outcome
+	if err := json.Unmarshal(b, &o); err != nil {
+		return nil, fmt.Errorf("sim: decoding outcome: %w", err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}

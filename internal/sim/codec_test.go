@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mmt/internal/core"
+	"mmt/internal/workloads"
+)
+
+func specApp(t *testing.T, name string) workloads.App {
+	t.Helper()
+	a, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("missing app %s", name)
+	}
+	return a
+}
+
+// TestTaskSpecKeyMatchesMutateClosure is the anti-drift proof: a wire
+// TaskSpec with a ConfigOverride must resolve to the exact content-
+// addressed key of a hand-built Task whose Mutate closure has the same
+// effect — otherwise the server and the persistent cache would disagree
+// about identity.
+func TestTaskSpecKeyMatchesMutateClosure(t *testing.T) {
+	spec := TaskSpec{
+		App:     "libsvm",
+		Preset:  PresetBase,
+		Threads: 2,
+		Config:  &ConfigOverride{FHBSize: 64, MaxInsts: 20000},
+	}
+	st, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specKey, err := st.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := Task{
+		App:     specApp(t, "libsvm"),
+		Preset:  PresetBase,
+		Threads: 2,
+		Mutate: func(c *core.Config) {
+			c.FHBSize = 64
+			c.MaxInsts = 20000
+		},
+	}
+	directKey, err := direct.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specKey != directKey {
+		t.Errorf("spec key %s != closure key %s", specKey, directKey)
+	}
+}
+
+func TestTaskSpecJSONRoundTrip(t *testing.T) {
+	specs := []TaskSpec{
+		{App: "ammp"}, // defaults: MMT-FXR, 2 threads
+		{App: "equake", Preset: PresetMMTF, Threads: 4,
+			Config: &ConfigOverride{FetchWidth: 16, LSPorts: 4}},
+		{App: "libsvm", Profile: true, MaxInsts: 5000},
+		{App: "twolf", Preset: PresetBase, Equ: map[string]int64{"MOVES": 10}},
+	}
+	for _, spec := range specs {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back TaskSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		t1, err := spec.Task()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.App, err)
+		}
+		t2, err := back.Task()
+		if err != nil {
+			t.Fatalf("%s after round trip: %v", spec.App, err)
+		}
+		k1, err1 := t1.Key()
+		k2, err2 := t2.Key()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("keying: %v %v", err1, err2)
+		}
+		if k1 != k2 {
+			t.Errorf("%s: key changed across JSON round trip", spec.App)
+		}
+	}
+}
+
+func TestTaskSpecRejectsBadInput(t *testing.T) {
+	if _, err := (TaskSpec{App: "no-such-app"}).Task(); err == nil {
+		t.Error("unknown application accepted")
+	}
+	if _, err := (TaskSpec{App: "ammp", Preset: Preset("Bogus")}).Task(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestOutcomeCodecRoundTrip(t *testing.T) {
+	spec := TaskSpec{App: "libsvm", Preset: PresetBase, Threads: 2,
+		Config: &ConfigOverride{MaxInsts: 20000}}
+	task, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := task.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalOutcome(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-compare the re-encoding: any field the codec drops or mangles
+	// would diverge here.
+	b2, err := MarshalOutcome(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("outcome changed across a codec round trip")
+	}
+	if back.Result == nil || back.Result.Stats.Cycles != out.Result.Stats.Cycles {
+		t.Error("decoded outcome lost its statistics")
+	}
+}
+
+func TestOutcomeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    *Outcome
+	}{
+		{"nil", nil},
+		{"empty", &Outcome{}},
+		{"result without stats", &Outcome{Result: &Result{}}},
+	}
+	for _, c := range cases {
+		if err := c.o.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	if _, err := MarshalOutcome(&Outcome{}); err == nil {
+		t.Error("empty outcome marshaled")
+	}
+	if _, err := UnmarshalOutcome([]byte(`{}`)); err == nil {
+		t.Error("empty outcome decoded")
+	}
+	if _, err := UnmarshalOutcome([]byte(`{garbage`)); err == nil {
+		t.Error("garbage decoded")
+	}
+}

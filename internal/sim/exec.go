@@ -211,8 +211,10 @@ type Exec interface {
 	// Schedule announces tasks whose outcomes will later be collected
 	// with Do, letting parallel executors start them immediately.
 	// Implementations may ignore it; scheduling is never required before
-	// Do.
-	Schedule(tasks ...Task)
+	// Do. The error (e.g. a closed executor refusing work) is advisory
+	// for drivers that collect every outcome with Do, because Do reports
+	// the same condition per task.
+	Schedule(tasks ...Task) error
 	// Do returns the task's outcome, executing it if it is not already
 	// available. Tasks with equal keys share one outcome.
 	Do(t Task) (*Outcome, error)
@@ -227,7 +229,7 @@ type Serial struct{ memo *Memo }
 func NewSerial() *Serial { return &Serial{memo: NewMemo()} }
 
 // Schedule is a no-op: serial execution happens at Do time.
-func (s *Serial) Schedule(tasks ...Task) {}
+func (s *Serial) Schedule(tasks ...Task) error { return nil }
 
 // Do executes the task inline, serving repeats from the memo.
 func (s *Serial) Do(t Task) (*Outcome, error) { return s.memo.Do(t) }
