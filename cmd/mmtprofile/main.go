@@ -3,11 +3,18 @@
 // histogram of Figure 2, computed by aligning two contexts' functional
 // traces.
 //
+// With -from-run it instead renders a saved per-PC attribution profile
+// (a -profile-out file, or a -out outcome with an embedded profile)
+// without resimulating, and -diff prints the CPI-stack and per-site
+// movement between two of them.
+//
 // Usage:
 //
 //	mmtprofile                 # all applications
 //	mmtprofile -app ammp       # one application
 //	mmtprofile -maxinsts 500000
+//	mmtprofile -from-run twolf.prof.json -top 20
+//	mmtprofile -from-run before.json -diff after.json
 package main
 
 import (

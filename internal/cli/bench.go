@@ -15,6 +15,7 @@ import (
 
 	"mmt/internal/core"
 	"mmt/internal/obs"
+	"mmt/internal/prof"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
 	"mmt/internal/workloads"
@@ -48,6 +49,11 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
 
+		benchJSON    = fs.String("bench-json", "", "write a BENCH_"+strconv.Itoa(BenchSchema)+".json performance artifact (wall time, cycles, IPC, cache hit ratio per experiment); a directory auto-names the file")
+		benchCompare = fs.String("bench-compare", "", "compare two bench-json artifacts: OLD,NEW (runs nothing else)")
+		profileOut   = fs.String("profile-out", "", "write the merged per-PC attribution profile across all timing experiments and print its top sites")
+		profileTop   = fs.Int("profile-top", 10, "sites in the printed attribution report (0 = all)")
+
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runner's workers (open in Perfetto)")
 		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "interval between worker-utilization samples on the trace")
 		metricsAddr = fs.String("metrics-addr", "", "serve live runner metrics, expvar and pprof on this address")
@@ -59,6 +65,24 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 	if *version {
 		printVersion(stdout, "mmtbench")
 		return runner.Summary{}, nil
+	}
+	if *benchCompare != "" {
+		oldPath, newPath, ok := strings.Cut(*benchCompare, ",")
+		if !ok || strings.TrimSpace(oldPath) == "" || strings.TrimSpace(newPath) == "" {
+			return runner.Summary{}, fmt.Errorf("-bench-compare wants OLD,NEW (two bench-json files)")
+		}
+		return runner.Summary{}, BenchCompare(stdout, strings.TrimSpace(oldPath), strings.TrimSpace(newPath))
+	}
+	if err := validateTimeout(*timeout); err != nil {
+		return runner.Summary{}, err
+	}
+	if err := validateRetries(*retries); err != nil {
+		return runner.Summary{}, err
+	}
+	if *traceOut != "" {
+		if err := validateSampleEvery(*sampleEvery); err != nil {
+			return runner.Summary{}, err
+		}
 	}
 
 	// Validate requested artifact names.
@@ -102,6 +126,14 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		opts.TraceSampleEvery = *sampleEvery
 		closeTrace = closeSinks
 	}
+	// -bench-json and -profile-out observe the experiment stream through a
+	// wrapping executor; its completion hook must be installed before the
+	// pool exists.
+	var bx *benchExec
+	if *benchJSON != "" || *profileOut != "" {
+		bx = newBenchExec(nil, *profileOut != "")
+		opts.OnComplete = bx.complete
+	}
 	pool, err := runner.New(ctx, opts)
 	if err != nil {
 		if closeTrace != nil {
@@ -109,19 +141,53 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		}
 		return runner.Summary{}, err
 	}
+	var ex sim.Exec = pool
+	if bx != nil {
+		bx.inner = pool
+		ex = bx
+	}
 
-	err = writeReport(pool, stdout, *only, *outFile)
+	err = writeReport(ex, stdout, *only, *outFile)
 	pool.Close()
 	if closeTrace != nil {
 		if cerr := closeTrace(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
+	if err == nil && bx != nil {
+		err = emitBenchArtifacts(stdout, bx, *benchJSON, *profileOut, *profileTop)
+	}
 	s := pool.Summary()
 	if progress != nil && s.Jobs > 0 {
 		fmt.Fprint(progress, s.Format())
 	}
 	return s, err
+}
+
+// emitBenchArtifacts writes the -bench-json file and the merged
+// attribution profile after a successful artifact run.
+func emitBenchArtifacts(stdout io.Writer, bx *benchExec, benchJSON, profileOut string, profileTop int) error {
+	if benchJSON != "" {
+		if err := writeBenchJSON(benchJSON, bx.file()); err != nil {
+			return err
+		}
+	}
+	if profileOut == "" {
+		return nil
+	}
+	p := bx.mergedProfile()
+	if p == nil {
+		return fmt.Errorf("no attributed timing experiment ran; nothing behind -profile-out")
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(profileOut, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	return prof.WriteReport(stdout, p, profileTop)
 }
 
 // writeReport renders the requested artifacts through the executor. The

@@ -1,0 +1,266 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mmt/internal/cache"
+	"mmt/internal/prof"
+	"mmt/internal/runner"
+	"mmt/internal/sim"
+)
+
+// BenchSchema versions the -bench-json artifact; the file is named
+// BENCH_<schema>.json when the flag points at a directory, so CI picks up
+// format changes as a new artifact name instead of silently mixing
+// encodings.
+const BenchSchema = 1
+
+// BenchFile is the -bench-json document: one entry per distinct
+// experiment (task key) in first-collection order.
+type BenchFile struct {
+	Schema      int          `json:"schema"`
+	Experiments []BenchEntry `json:"experiments"`
+}
+
+// BenchEntry is one experiment's performance record. Cycles, IPC and
+// CacheHitRatio describe the simulated machine; WallMS and FromCache
+// describe the harness (how long the simulation took us to produce, or
+// that the persistent cache answered). Trace-alignment experiments have
+// no timing result, so only the harness fields are set.
+type BenchEntry struct {
+	Name      string  `json:"name"`
+	Key       string  `json:"key"`
+	WallMS    float64 `json:"wall_ms"`
+	FromCache bool    `json:"from_cache,omitempty"`
+	Cycles    uint64  `json:"cycles,omitempty"`
+	IPC       float64 `json:"ipc,omitempty"`
+	// CacheHitRatio is the fraction of the run's L1 accesses that did not
+	// reach DRAM: 1 - DRAM/(L1I+L1D).
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+}
+
+// hitRatio computes a run's memory-hierarchy hit ratio.
+func hitRatio(m cache.Events) float64 {
+	l1 := m.L1IAccesses + m.L1DAccesses
+	if l1 == 0 {
+		return 0
+	}
+	r := 1 - float64(m.DRAMAccesses)/float64(l1)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// benchExec wraps the runner pool so mmtbench can observe every distinct
+// experiment the artifact drivers collect: one BenchEntry per task key in
+// first-Do order, and — when attribution is requested — every timing task
+// forced to carry a profiler, with the resulting profiles merged into one
+// aggregate.
+type benchExec struct {
+	inner       sim.Exec
+	attribution bool
+
+	mu      sync.Mutex
+	comps   map[string]runner.Completion
+	order   []string
+	entries map[string]*BenchEntry
+	profile *prof.Profile
+}
+
+func newBenchExec(inner sim.Exec, attribution bool) *benchExec {
+	return &benchExec{
+		inner:       inner,
+		attribution: attribution,
+		comps:       make(map[string]runner.Completion),
+		entries:     make(map[string]*BenchEntry),
+	}
+}
+
+// complete is the pool's OnComplete hook; it runs on worker goroutines
+// before the corresponding Do returns, so Do always finds its completion.
+func (b *benchExec) complete(c runner.Completion) {
+	b.mu.Lock()
+	b.comps[c.Key] = c
+	b.mu.Unlock()
+}
+
+// instrument applies the attribution request to a task. Attribution is
+// part of the key, so Schedule and Do must agree or the pool would run
+// every point twice.
+func (b *benchExec) instrument(t sim.Task) sim.Task {
+	if b.attribution && !t.Profile {
+		t.Attribution = true
+	}
+	return t
+}
+
+// Schedule implements sim.Exec.
+func (b *benchExec) Schedule(tasks ...sim.Task) error {
+	for i := range tasks {
+		tasks[i] = b.instrument(tasks[i])
+	}
+	return b.inner.Schedule(tasks...)
+}
+
+// Do implements sim.Exec.
+func (b *benchExec) Do(t sim.Task) (*sim.Outcome, error) {
+	t = b.instrument(t)
+	o, err := b.inner.Do(t)
+	if err != nil {
+		return o, err
+	}
+	key, kerr := t.Key()
+	if kerr != nil {
+		return o, nil // Do would have failed first; defensive only
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, seen := b.entries[key]; seen {
+		return o, nil
+	}
+	e := &BenchEntry{Name: t.Name(), Key: key}
+	if c, ok := b.comps[key]; ok {
+		e.WallMS = float64(c.Dur.Microseconds()) / 1e3
+		e.FromCache = c.FromCache
+	}
+	if r := o.Result; r != nil {
+		e.Cycles = r.Stats.Cycles
+		e.IPC = r.Stats.IPC()
+		e.CacheHitRatio = hitRatio(r.Mem)
+	}
+	b.order = append(b.order, key)
+	b.entries[key] = e
+	if o.Attribution != nil {
+		if b.profile == nil {
+			b.profile = &prof.Profile{Schema: prof.SchemaVersion}
+		}
+		// Merge copies site values, so the memoized outcome's profile is
+		// never aliased or mutated.
+		b.profile.Merge(o.Attribution)
+	}
+	return o, nil
+}
+
+// file assembles the recorded entries in first-collection order.
+func (b *benchExec) file() BenchFile {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := BenchFile{Schema: BenchSchema}
+	for _, key := range b.order {
+		f.Experiments = append(f.Experiments, *b.entries[key])
+	}
+	return f
+}
+
+// mergedProfile returns the aggregate attribution profile (nil when no
+// attributed experiment ran).
+func (b *benchExec) mergedProfile() *prof.Profile {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.profile
+}
+
+// writeBenchJSON writes the bench file behind -bench-json. A directory
+// path auto-names the artifact BENCH_<schema>.json inside it.
+func writeBenchJSON(path string, f BenchFile) error {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, fmt.Sprintf("BENCH_%d.json", BenchSchema))
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// readBenchFile loads and schema-checks a -bench-json artifact.
+func readBenchFile(path string) (BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if f.Schema != BenchSchema {
+		return BenchFile{}, fmt.Errorf("%s: bench schema %d, this build reads %d", path, f.Schema, BenchSchema)
+	}
+	return f, nil
+}
+
+// benchNames labels a file's experiments by display name, disambiguating
+// repeats as name#2, name#3... in collection order, so two files from the
+// same artifact set match up even though keys differ across code changes.
+func benchNames(f BenchFile) ([]string, map[string]BenchEntry) {
+	seen := make(map[string]int)
+	byName := make(map[string]BenchEntry)
+	var order []string
+	for _, e := range f.Experiments {
+		seen[e.Name]++
+		name := e.Name
+		if n := seen[e.Name]; n > 1 {
+			name = fmt.Sprintf("%s#%d", e.Name, n)
+		}
+		order = append(order, name)
+		byName[name] = e
+	}
+	return order, byName
+}
+
+// BenchCompare prints the regression deltas between two -bench-json
+// artifacts: per matched experiment the cycle, IPC, cache-hit-ratio and
+// wall-time movement, then the names only one side has.
+func BenchCompare(w io.Writer, oldPath, newPath string) error {
+	of, err := readBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	nf, err := readBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldOrder, oldBy := benchNames(of)
+	newOrder, newBy := benchNames(nf)
+
+	fmt.Fprintf(w, "bench compare: %s -> %s\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-28s %14s %14s %9s %8s %8s %10s\n",
+		"experiment", "cycles old", "cycles new", "delta", "ipc", "hit%", "wall ms")
+	matched := 0
+	for _, name := range newOrder {
+		ne := newBy[name]
+		oe, ok := oldBy[name]
+		if !ok {
+			continue
+		}
+		matched++
+		fmt.Fprintf(w, "%-28s %14d %14d %9s %+8.3f %+8.2f %+10.1f\n",
+			name, oe.Cycles, ne.Cycles, benchPctDelta(oe.Cycles, ne.Cycles),
+			ne.IPC-oe.IPC, 100*(ne.CacheHitRatio-oe.CacheHitRatio), ne.WallMS-oe.WallMS)
+	}
+	for _, name := range newOrder {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Fprintf(w, "%-28s only in %s\n", name, newPath)
+		}
+	}
+	for _, name := range oldOrder {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(w, "%-28s only in %s\n", name, oldPath)
+		}
+	}
+	fmt.Fprintf(w, "\n%d matched, %d old, %d new\n", matched, len(oldOrder), len(newOrder))
+	return nil
+}
+
+func benchPctDelta(before, after uint64) string {
+	if before == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(after)-float64(before))/float64(before))
+}

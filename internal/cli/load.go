@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/prof"
 	"mmt/internal/serve"
 	"mmt/internal/serve/client"
 	"mmt/internal/sim"
@@ -48,6 +49,9 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		retries     = fs.Int("retries", 4, "client retry budget per request")
 		metricsAddr = fs.String("metrics-addr", "", "serve the load generator's own metrics on this address")
 		eventsOut   = fs.String("events-out", "", "write a JSONL client-side job timeline (one span per job, cache-hit markers)")
+		attribution = fs.Bool("attribution", false, "request per-PC attribution profiles from the server and merge them")
+		profileOut  = fs.String("profile-out", "", "with -attribution: write the merged attribution profile to this file")
+		profileTop  = fs.Int("profile-top", 5, "sites in the printed attribution summary (0 = all)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +66,12 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 	}
 	if *dup < 0 || *dup >= 1 {
 		return fmt.Errorf("-dup must be in [0,1)")
+	}
+	if err := validateRetries(*retries); err != nil {
+		return err
+	}
+	if *profileOut != "" && !*attribution {
+		return fmt.Errorf("-profile-out requires -attribution")
 	}
 
 	reg := obs.NewRegistry()
@@ -88,7 +98,8 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 
 	specs := loadSpecs(*n, *dup, *seed, sim.TaskSpec{
 		App: *app, Preset: sim.Preset(*preset), Threads: *threads,
-		Config: &sim.ConfigOverride{MaxInsts: *maxInsts},
+		Config:      &sim.ConfigOverride{MaxInsts: *maxInsts},
+		Attribution: *attribution,
 	})
 	unique := map[string]bool{}
 	for _, s := range specs {
@@ -109,10 +120,14 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		*n, len(unique), *conc, *dup, *seed, *server)
 
 	type result struct {
-		dur time.Duration
-		err error
+		dur    time.Duration
+		source string // JobStatus.Source: "simulated" or "cache"
+		dedup  bool   // joined an already-admitted flight
+		err    error
 	}
 	results := make([]result, len(specs))
+	var profMu sync.Mutex
+	var merged *prof.Profile
 	work := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -121,21 +136,35 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		go func(w int) {
 			defer wg.Done()
 			for i := range work {
+				// Deterministic per-job correlation id: the same seed
+				// produces the same ids, so two runs' traces line up.
+				traceID := fmt.Sprintf("load-%d-%d", *seed, i)
 				t0 := time.Now()
-				_, st, err := c.Run(ctx, serve.SubmitRequest{Task: specs[i], DeadlineMS: *deadlineMS})
+				o, st, err := c.Run(ctx, serve.SubmitRequest{
+					Task: specs[i], DeadlineMS: *deadlineMS, TraceID: traceID,
+				})
 				d := time.Since(t0)
-				results[i] = result{dur: d, err: err}
+				results[i] = result{dur: d, source: st.Source, dedup: st.Dedup, err: err}
 				submitted.Inc()
 				latency.Observe(d)
 				if err != nil {
 					failures.Inc()
 				}
+				if err == nil && o != nil && o.Attribution != nil {
+					profMu.Lock()
+					if merged == nil {
+						merged = &prof.Profile{Schema: prof.SchemaVersion}
+					}
+					merged.Merge(o.Attribution)
+					profMu.Unlock()
+				}
 				if rec != nil {
 					ts := uint64(t0.Sub(start) / time.Microsecond)
 					rec.Event(obs.Event{TS: ts, Kind: obs.EvJob, Track: int32(w),
-						Dur: uint64(d / time.Microsecond), Name: specs[i].Name()})
+						Dur: uint64(d / time.Microsecond), Name: specs[i].Name(), Trace: traceID})
 					if st.Source == "cache" {
-						rec.Event(obs.Event{TS: ts, Kind: obs.EvCacheHit, Track: int32(w), Name: specs[i].Name()})
+						rec.Event(obs.Event{TS: ts, Kind: obs.EvCacheHit, Track: int32(w),
+							Name: specs[i].Name(), Trace: traceID})
 					}
 				}
 			}
@@ -151,13 +180,9 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 	close(work)
 	wg.Wait()
 	wall := time.Since(start)
-	var recErr error
-	if closeRec != nil {
-		recErr = closeRec()
-	}
 
 	var durs []time.Duration
-	failed := 0
+	failed, simulated, cached, dedupJoins := 0, 0, 0, 0
 	var firstErr error
 	for _, r := range results {
 		if r.err != nil {
@@ -170,6 +195,27 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		if r.dur > 0 {
 			durs = append(durs, r.dur)
 		}
+		switch r.source {
+		case "simulated":
+			simulated++
+		case "cache":
+			cached++
+		}
+		if r.dedup {
+			dedupJoins++
+		}
+	}
+	if rec != nil {
+		// Final counter samples make the split greppable in -events-out
+		// next to the per-job spans.
+		ts := uint64(wall / time.Microsecond)
+		rec.Event(obs.Event{TS: ts, Kind: obs.EvCounter, Name: "load-served-simulated", Arg: uint64(simulated)})
+		rec.Event(obs.Event{TS: ts, Kind: obs.EvCounter, Name: "load-served-cache", Arg: uint64(cached)})
+		rec.Event(obs.Event{TS: ts, Kind: obs.EvCounter, Name: "load-dedup-joins", Arg: uint64(dedupJoins)})
+	}
+	var recErr error
+	if closeRec != nil {
+		recErr = closeRec()
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	fmt.Fprintf(stdout, "mmtload: done in %s — %.1f jobs/s, %d failed\n",
@@ -179,11 +225,36 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 			quantileDur(durs, 0.50), quantileDur(durs, 0.90), quantileDur(durs, 0.99),
 			durs[0].Round(time.Millisecond), durs[len(durs)-1].Round(time.Millisecond))
 	}
+	if done := len(results) - failed; done > 0 {
+		fmt.Fprintf(stdout, "client:  simulated=%d cache=%d dedup_joins=%d (dedup hit ratio %.2f)\n",
+			simulated, cached, dedupJoins, float64(dedupJoins)/float64(done))
+	}
 	if after, err := c.Stats(context.Background()); err == nil {
 		fmt.Fprintf(stdout, "server:  simulated=%d cache=%d dedup_joins=%d rejected=%d expired=%d\n",
 			after.Simulated-before.Simulated, after.FromCache-before.FromCache,
 			after.Deduped-before.Deduped, after.Rejected-before.Rejected,
 			after.Expired-before.Expired)
+	}
+	if merged != nil {
+		total := merged.Cycles
+		fmt.Fprintf(stdout, "attribution: %d cycles merged across jobs — base %.1f%% fetch-stall %.1f%% catchup %.1f%% rollback %.1f%% drain %.1f%%\n",
+			total, loadPct(merged.CPI.Base, total), loadPct(merged.CPI.FetchStall, total),
+			loadPct(merged.CPI.Catchup, total), loadPct(merged.CPI.Rollback, total), loadPct(merged.CPI.Drain, total))
+		if *profileOut != "" {
+			b, merr := merged.Marshal()
+			if merr != nil {
+				return merr
+			}
+			if werr := os.WriteFile(*profileOut, b, 0o644); werr != nil {
+				return werr
+			}
+			fmt.Fprintln(stdout)
+			if rerr := prof.WriteReport(stdout, merged, *profileTop); rerr != nil {
+				return rerr
+			}
+		}
+	} else if *attribution && firstErr == nil {
+		fmt.Fprintln(stdout, "attribution: no profiles returned (older server?)")
 	}
 	if firstErr != nil {
 		return fmt.Errorf("%d/%d jobs failed, first: %w", failed, len(specs), firstErr)
@@ -192,6 +263,13 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		return recErr
 	}
 	return ctx.Err()
+}
+
+func loadPct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
 }
 
 // loadSpecs builds the deterministic job stream: unique specs vary the

@@ -56,6 +56,17 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		printVersion(stdout, "mmtserved")
 		return nil
 	}
+	if err := validateTimeout(*timeout); err != nil {
+		return err
+	}
+	if err := validateRetries(*retries); err != nil {
+		return err
+	}
+	if *traceOut != "" || *eventsOut != "" {
+		if err := validateSampleEvery(*sampleEvery); err != nil {
+			return err
+		}
+	}
 
 	// rootCtx is the pool's hard-abort context: canceled when the drain
 	// deadline expires or a second signal arrives.

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/prof"
 )
 
 // syncBuffer guards a bytes.Buffer: the daemon's progress stream is
@@ -88,6 +90,8 @@ func TestServeAndLoadEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobsSeen, hits := 0, 0
+	traces := map[string]int{}
+	counters := map[string]uint64{}
 	for _, l := range lines {
 		if l.Event == nil {
 			continue
@@ -95,12 +99,49 @@ func TestServeAndLoadEndToEnd(t *testing.T) {
 		switch l.Event.Kind {
 		case obs.EvJob:
 			jobsSeen++
+			traces[l.Event.Trace]++
 		case obs.EvCacheHit:
 			hits++
+		case obs.EvCounter:
+			counters[l.Event.Name] = l.Event.Arg
 		}
 	}
 	if jobsSeen != 6 || hits != 6 {
 		t.Errorf("events = %d job spans, %d cache hits; want 6 and 6", jobsSeen, hits)
+	}
+	// Deterministic per-job correlation ids: seed 2, positions 0..5, each
+	// on exactly one span.
+	for i := 0; i < 6; i++ {
+		if id := fmt.Sprintf("load-2-%d", i); traces[id] != 1 {
+			t.Errorf("trace id %s on %d spans, want 1 (%v)", id, traces[id], traces)
+		}
+	}
+	if counters["load-served-cache"] != 6 || counters["load-served-simulated"] != 0 {
+		t.Errorf("final counters wrong on a warm run: %v", counters)
+	}
+
+	// An attributed run uses distinct task keys (attribution is in the
+	// key), so the server simulates afresh, embeds a profile in each
+	// outcome, and the client merges them into one file.
+	pfile := filepath.Join(t.TempDir(), "load-profile.json")
+	var attr bytes.Buffer
+	if err := runLoad([]string{"-server", "http://" + addr, "-n", "4", "-c", "2",
+		"-dup", "0", "-seed", "3", "-attribution", "-profile-out", pfile}, &attr, io.Discard); err != nil {
+		t.Fatalf("attributed mmtload: %v\n%s", err, attr.String())
+	}
+	if !strings.Contains(attr.String(), "attribution: ") {
+		t.Errorf("attributed run printed no CPI summary:\n%s", attr.String())
+	}
+	pb, err := os.ReadFile(pfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := prof.ParseProfile(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Cycles == 0 {
+		t.Error("merged load profile is empty")
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

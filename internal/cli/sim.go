@@ -17,6 +17,7 @@ import (
 	"mmt/internal/asm"
 	"mmt/internal/core"
 	"mmt/internal/obs"
+	"mmt/internal/prof"
 	"mmt/internal/prog"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
@@ -42,6 +43,9 @@ func RunSim(args []string, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "simulation wall-clock timeout (0 = none)")
 		outFile  = fs.String("out", "", "also write the outcome as canonical JSON (the cache/wire encoding) to this file")
 
+		profileOut = fs.String("profile-out", "", "write a per-PC attribution profile (JSON, see prof.SchemaVersion) and print its top sites")
+		profileTop = fs.Int("profile-top", 10, "sites in the printed attribution report (0 = all)")
+
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline (open in Perfetto); bypasses the result cache")
 		eventsOut   = fs.String("events-out", "", "write the raw event stream as JSON lines; bypasses the result cache")
 		sampleEvery = fs.Uint64("sample-every", 1000, "cycles between occupancy/IPC samples when tracing (0 = events only)")
@@ -54,6 +58,9 @@ func RunSim(args []string, out io.Writer) error {
 	if *version {
 		printVersion(out, "mmtsim")
 		return nil
+	}
+	if err := validateTimeout(*timeout); err != nil {
+		return err
 	}
 
 	if *list {
@@ -111,6 +118,9 @@ func RunSim(args []string, out io.Writer) error {
 	}
 
 	task := sim.Task{App: app, Preset: sim.Preset(*preset), Threads: *threads, Mutate: mutate}
+	// Attribution is part of the task key, so a profiled run never collides
+	// with an unprofiled cache entry (and vice versa).
+	task.Attribution = *profileOut != ""
 
 	if *traceOut != "" || *eventsOut != "" {
 		// A traced run must actually simulate: the pool would serve a
@@ -138,7 +148,8 @@ func RunSim(args []string, out io.Writer) error {
 			return err
 		}
 		printResult(out, o.Result)
-		return nil
+		prof.PublishCoreStats(reg, o.Result.Stats)
+		return emitProfile(out, *profileOut, *profileTop, o)
 	}
 
 	// Even a single simulation goes through the runner, so mmtsim shares
@@ -158,6 +169,28 @@ func RunSim(args []string, out io.Writer) error {
 		return err
 	}
 	printResult(out, o.Result)
+	prof.PublishCoreStats(reg, o.Result.Stats)
+	return emitProfile(out, *profileOut, *profileTop, o)
+}
+
+// emitProfile writes the outcome's attribution profile behind -profile-out
+// and prints its top-N report; path "" disables it.
+func emitProfile(out io.Writer, path string, topN int, o *sim.Outcome) error {
+	if path == "" {
+		return nil
+	}
+	if o.Attribution == nil {
+		return fmt.Errorf("outcome has no attribution profile (produced by a pre-profiler build?)")
+	}
+	b, err := o.Attribution.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	prof.WriteReport(out, o.Attribution, topN)
 	return nil
 }
 

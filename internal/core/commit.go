@@ -92,6 +92,8 @@ func (c *Core) commit(u *uop, now uint64) {
 		}
 	}
 
+	c.probeCommit(u)
+
 	// Commit classification (Fig. 5b): per-thread instructions.
 	n := uint64(u.itid.Count())
 	switch {

@@ -64,6 +64,15 @@ type Core struct {
 	lastStall   obs.StallCause
 	lastModeMix uint64
 
+	// Attribution probe (AttachProbe): per-PC and CPI-stack accounting,
+	// nil-guarded at every site like rec. probeCommitted is the committed
+	// uop count at the previous cycle boundary (detects base cycles);
+	// rollbackUntil is the end of the latest LVIP rollback redirect
+	// window, used to classify rollback cycles.
+	probe          Probe
+	probeCommitted uint64
+	rollbackUntil  uint64
+
 	stats Stats
 }
 
@@ -189,6 +198,9 @@ func (c *Core) Cycle() {
 	c.stats.Cycles = c.now
 	if c.rec != nil {
 		c.observeCycle()
+	}
+	if c.probe != nil {
+		c.probeCycle(now)
 	}
 }
 

@@ -27,6 +27,11 @@ type group struct {
 	// takenSinceDiverge counts taken branches fetched since this group
 	// was created by a divergence (remerge-distance statistic).
 	takenSinceDiverge uint64
+	// divergePC is the control-instruction PC whose divergence created
+	// this group (0 for initial groups and post-squash regroups); the
+	// attribution probe charges this group's catchup cycles and eventual
+	// remerge to that site.
+	divergePC uint64
 	// catchupInsts counts instructions fetched while catching up; a
 	// bound aborts catchups that fail to converge (liveness valve).
 	catchupInsts uint64
@@ -149,10 +154,18 @@ func (c *Core) mergeGroups(a, b *group) {
 		dist = b.takenSinceDiverge
 	}
 	c.stats.RecordRemergeDistance(dist)
+	if c.probe != nil {
+		dp := a.divergePC
+		if dp == 0 {
+			dp = b.divergePC
+		}
+		c.probe.Remerge(dp, dist)
+	}
 	c.dissolveLinks(a)
 	c.dissolveLinks(b)
 	a.members |= b.members
 	a.takenSinceDiverge = 0
+	a.divergePC = 0
 	a.parked = false
 	a.parkCooldown = 0
 	if b.stallUntil > a.stallUntil {
@@ -167,15 +180,15 @@ func (c *Core) mergeGroups(a, b *group) {
 }
 
 // splitGroup replaces g with one subgroup per distinct next PC after a
-// divergent control instruction.
-func (c *Core) splitGroup(g *group, parts []ITID) []*group {
+// divergent control instruction at pc (the attributed divergence site).
+func (c *Core) splitGroup(g *group, parts []ITID, pc uint64) []*group {
 	c.stats.Divergences++
 	c.dissolveLinks(g)
 	g.dead = true
 	g.members = 0
 	var out []*group
 	for _, p := range parts {
-		ng := &group{members: p, stallUntil: g.stallUntil}
+		ng := &group{members: p, stallUntil: g.stallUntil, divergePC: pc}
 		c.groups = append(c.groups, ng)
 		out = append(out, ng)
 	}
@@ -502,7 +515,10 @@ func (c *Core) handleControl(g *group, u *uop, now uint64, traceHit bool) *uop {
 		// a stall until the branch resolves otherwise.
 		c.stats.RecordDivergencePC(u.pc)
 		c.emit(obs.EvDiverge, int32(leader), u.pc, uint64(len(parts)))
-		subs := c.splitGroup(g, parts)
+		if c.probe != nil {
+			c.probe.Diverge(u.pc, len(parts))
+		}
+		subs := c.splitGroup(g, parts, u.pc)
 		for i, sg := range subs {
 			if partPC[i] == followPath {
 				continue

@@ -147,6 +147,9 @@ func (c *Core) completeStage(now uint64) {
 				c.lvipRollback(u, now, true)
 			} else {
 				c.lvip.RecordIdentical(u.pc)
+				if c.probe != nil {
+					c.probe.LVIPHit(u.pc)
+				}
 			}
 		} else if u.sharedVerify && c.loadValuesDiffer(u) {
 			c.lvipRollback(u, now, false)
@@ -205,6 +208,12 @@ func (c *Core) lvipRollback(u *uop, now uint64, train bool) {
 	c.squashYounger(affected, u.seq, now)
 	if n := c.stats.SquashedUops - squashedBefore; n > 0 {
 		c.emit(obs.EvSquash, int32(affected.First()), u.pc, n)
+	}
+	if c.probe != nil {
+		c.probe.LVIPMispredict(u.pc, c.cfg.MispredictPenalty, c.stats.SquashedUops-squashedBefore)
+		if until := now + c.cfg.MispredictPenalty; until > c.rollbackUntil {
+			c.rollbackUntil = until
+		}
 	}
 
 	// The load itself survives but its destination becomes per-thread

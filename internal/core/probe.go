@@ -1,0 +1,175 @@
+package core
+
+// This file is the attribution-probe seam: a second, finer-grained
+// observer next to the obs.Recorder hooks. Where the recorder streams
+// discrete events for timelines, a Probe receives per-PC attribution
+// callbacks (commit classification, divergence/remerge/catchup/LVIP
+// charging) plus a per-cycle CPI-stack component, so a profiler can
+// answer "which static instruction paid for this run" without the core
+// importing the profiler. Every call site guards on the probe being
+// nil — an unprobed core pays one pointer compare per site and
+// allocates nothing, exactly like the recorder hooks.
+
+// CommitClass classifies one committed uop for per-PC attribution
+// (the per-uop view of the Fig. 5b per-instruction classes).
+type CommitClass uint8
+
+const (
+	// CommitMerged: executed once for several threads (execute-identical).
+	CommitMerged CommitClass = iota
+	// CommitSplit: fetched merged but executed per-thread.
+	CommitSplit
+	// CommitSolo: fetched and executed for a single thread.
+	CommitSolo
+
+	NumCommitClasses
+)
+
+func (c CommitClass) String() string {
+	switch c {
+	case CommitMerged:
+		return "merged"
+	case CommitSplit:
+		return "split"
+	case CommitSolo:
+		return "solo"
+	}
+	return "?"
+}
+
+// CycleComponent is the CPI-stack bucket one core cycle is charged to.
+// Every cycle lands in exactly one component, so over a run the
+// component counts sum to Stats.Cycles. Classification priority:
+// base (something committed) > rollback (inside an LVIP rollback
+// redirect window) > catchup (a behind group is chasing an ahead group)
+// > drain (some thread's stream is exhausted while others still run)
+// > fetch-stall (no commit and none of the above — front-end or
+// backpressure limited, the catch-all for memory/queue stalls).
+type CycleComponent uint8
+
+const (
+	// CycBase: at least one uop committed this cycle.
+	CycBase CycleComponent = iota
+	// CycFetchStall: nothing committed; no more specific cause applies.
+	CycFetchStall
+	// CycCatchup: nothing committed while a CATCHUP episode was active.
+	CycCatchup
+	// CycRollback: nothing committed inside an LVIP rollback penalty
+	// window.
+	CycRollback
+	// CycDrain: nothing committed and at least one thread has drained
+	// (exhausted its stream) while the machine finishes the rest.
+	CycDrain
+
+	NumCycleComponents
+)
+
+func (c CycleComponent) String() string {
+	switch c {
+	case CycBase:
+		return "base"
+	case CycFetchStall:
+		return "fetch-stall"
+	case CycCatchup:
+		return "catchup"
+	case CycRollback:
+		return "rollback"
+	case CycDrain:
+		return "drain"
+	}
+	return "?"
+}
+
+// Probe receives per-PC attribution callbacks from the core. The core is
+// single-threaded, so implementations need no locking; calls carry the
+// static PC being charged (0 when the site is unknown, e.g. a remerge of
+// the initial groups). Attaching a probe never changes simulated
+// behaviour, only reports it.
+type Probe interface {
+	// CommitUop: one uop at pc committed with the given classification
+	// for threads member threads.
+	CommitUop(pc uint64, class CommitClass, threads int)
+	// Diverge: the group fetching pc split into parts subgroups.
+	Diverge(pc uint64, parts int)
+	// Remerge: two groups unified; the episode began at divergence site
+	// divergePC (0 if unknown) and spanned takenBranches taken branches.
+	Remerge(divergePC uint64, takenBranches uint64)
+	// CatchupCycle: a behind group created at divergence site divergePC
+	// spent this cycle in CATCHUP mode.
+	CatchupCycle(divergePC uint64)
+	// LVIPHit: a merged load at pc verified value-identical.
+	LVIPHit(pc uint64)
+	// LVIPMispredict: a merged load at pc failed verification; the
+	// rollback costs penaltyCycles of redirect and squashed uops.
+	LVIPMispredict(pc uint64, penaltyCycles, squashed uint64)
+	// Cycle charges one core cycle to a CPI-stack component.
+	Cycle(comp CycleComponent)
+}
+
+// AttachProbe wires an attribution probe into the core. Like Attach, it
+// may be called at most once, before Run; passing nil leaves the core
+// unprobed (the zero-cost default).
+func (c *Core) AttachProbe(p Probe) { c.probe = p }
+
+// probeCommit classifies and reports one committed uop.
+func (c *Core) probeCommit(u *uop) {
+	if c.probe == nil {
+		return
+	}
+	class := CommitSolo
+	switch {
+	case u.execIdentical():
+		class = CommitMerged
+	case u.fetchIdenticalOnly():
+		class = CommitSplit
+	}
+	c.probe.CommitUop(u.pc, class, u.itid.Count())
+}
+
+// probeCycle charges the cycle that just executed (index now) to a
+// CPI-stack component and one CatchupCycle per live behind group. It
+// runs at the end of Cycle, after the commit stage bumped the counters.
+func (c *Core) probeCycle(now uint64) {
+	if c.probe == nil {
+		return
+	}
+	comp := CycFetchStall
+	switch {
+	case c.stats.CommittedUops > c.probeCommitted:
+		comp = CycBase
+	case now < c.rollbackUntil:
+		comp = CycRollback
+	case c.anyCatchup():
+		comp = CycCatchup
+	case c.anyDrained():
+		comp = CycDrain
+	}
+	c.probeCommitted = c.stats.CommittedUops
+	c.probe.Cycle(comp)
+	for _, g := range c.groups {
+		if !g.dead && g.ahead != nil {
+			c.probe.CatchupCycle(g.divergePC)
+		}
+	}
+}
+
+// anyCatchup reports whether any live group is in a CATCHUP episode.
+func (c *Core) anyCatchup() bool {
+	for _, g := range c.groups {
+		if !g.dead && g.ahead != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDrained reports whether any thread's stream is exhausted (halted or
+// instruction-capped) while the machine still runs.
+func (c *Core) anyDrained() bool {
+	for _, s := range c.streams {
+		if _, ok := s.nextPC(); !ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"mmt/internal/prog"
+)
+
+// countingProbe records every callback, for checking the probe seam fires.
+type countingProbe struct {
+	commits, diverges, remerges, catchups, hits, mispredicts int
+	cycles                                                   [NumCycleComponents]uint64
+}
+
+func (p *countingProbe) CommitUop(pc uint64, class CommitClass, threads int) { p.commits++ }
+func (p *countingProbe) Diverge(pc uint64, parts int)                        { p.diverges++ }
+func (p *countingProbe) Remerge(divergePC, takenBranches uint64)             { p.remerges++ }
+func (p *countingProbe) CatchupCycle(divergePC uint64)                       { p.catchups++ }
+func (p *countingProbe) LVIPHit(pc uint64)                                   { p.hits++ }
+func (p *countingProbe) LVIPMispredict(pc uint64, penalty, squashed uint64)  { p.mispredicts++ }
+func (p *countingProbe) Cycle(comp CycleComponent)                           { p.cycles[comp]++ }
+
+// TestNilProbeZeroAllocs: every probe site guards on one nil compare, so
+// an unprobed core's attribution seam must allocate nothing (the same
+// contract the recorder hooks keep, see TestNilRecorderZeroAllocs).
+func TestNilProbeZeroAllocs(t *testing.T) {
+	sys := buildSys(t, wideLoopSrc, prog.ModeME, 2, nil)
+	c, err := New(DefaultConfig(2), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &uop{pc: 0x40}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.probeCommit(u)
+		c.probeCycle(123)
+	}); allocs != 0 {
+		t.Errorf("nil-probe attribution path allocates %v per run", allocs)
+	}
+}
+
+// TestProbeDoesNotChangeStats: attaching a probe observes the run without
+// perturbing it — the simulated statistics must be identical.
+func TestProbeDoesNotChangeStats(t *testing.T) {
+	init := func(ctx int, mem *prog.Memory) {
+		mem.Write64(prog.DataBase, uint64(ctx%2))
+	}
+	run := func(p Probe) *Stats {
+		sys := buildSys(t, divergeSrc, prog.ModeME, 2, init)
+		cfg := DefaultConfig(2)
+		cfg.MaxCycles = 2_000_000
+		c, err := New(cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			c.AttachProbe(p)
+		}
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain := run(nil)
+	probe := &countingProbe{}
+	probed := run(probe)
+
+	if plain.Cycles != probed.Cycles || plain.TotalCommitted() != probed.TotalCommitted() ||
+		plain.Divergences != probed.Divergences || plain.Remerges != probed.Remerges {
+		t.Errorf("probe changed the run: plain cycles=%d committed=%d div=%d, probed cycles=%d committed=%d div=%d",
+			plain.Cycles, plain.TotalCommitted(), plain.Divergences,
+			probed.Cycles, probed.TotalCommitted(), probed.Divergences)
+	}
+
+	// The per-cycle component stream must cover every cycle exactly once.
+	var total uint64
+	for _, n := range probe.cycles {
+		total += n
+	}
+	if total != probed.Cycles {
+		t.Errorf("probe saw %d cycle callbacks, run took %d cycles", total, probed.Cycles)
+	}
+	if probe.commits == 0 {
+		t.Error("probe saw no commits")
+	}
+	if probe.diverges == 0 || probe.remerges == 0 {
+		t.Errorf("probe saw %d diverges, %d remerges on a divergent workload", probe.diverges, probe.remerges)
+	}
+	if uint64(probe.diverges) != probed.Divergences {
+		t.Errorf("probe diverges=%d, stats=%d", probe.diverges, probed.Divergences)
+	}
+}

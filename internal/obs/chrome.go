@@ -156,6 +156,9 @@ func (s *ChromeTraceSink) eventArgs(e Event) map[string]any {
 	if e.Arg != 0 && e.Kind != EvStall {
 		args["arg"] = e.Arg
 	}
+	if e.Trace != "" {
+		args["trace"] = e.Trace
+	}
 	if len(args) == 0 {
 		return nil
 	}

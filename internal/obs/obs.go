@@ -120,6 +120,11 @@ type Event struct {
 	Arg   uint64    `json:"arg,omitempty"`
 	Dur   uint64    `json:"dur,omitempty"`
 	Name  string    `json:"name,omitempty"`
+	// Trace is the job-scoped correlation id (serve mints one per job and
+	// the runner stamps it on the job's events), so one job's events are
+	// filterable in a shared sink — e.g. a Perfetto trace of a busy
+	// server. Empty for events not tied to a job.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Label returns the event's display name: Name when set, else the kind.

@@ -1,0 +1,31 @@
+package prof
+
+import (
+	"mmt/internal/core"
+	"mmt/internal/obs"
+)
+
+// PublishCoreStats exports a finished run's core statistics as
+// mmt_core_* gauges on reg, so a -metrics-addr endpoint exposes the
+// final machine counters next to the live runner metrics. Gauges (not
+// counters): the values are end-of-run snapshots, re-published wholesale
+// if the process runs another simulation.
+func PublishCoreStats(reg *obs.Registry, s *core.Stats) {
+	if reg == nil || s == nil {
+		return
+	}
+	set := func(name, help string, v uint64) {
+		reg.Gauge(name, help).Set(int64(v))
+	}
+	set("mmt_core_cycles", "Simulated cycles of the last completed run.", s.Cycles)
+	set("mmt_core_committed_insts", "Committed per-thread instructions of the last completed run.", s.TotalCommitted())
+	set("mmt_core_fetch_accesses", "Front-end fetch operations of the last completed run.", s.FetchAccesses)
+	set("mmt_core_divergences", "Fetch-group divergences of the last completed run.", s.Divergences)
+	set("mmt_core_remerges", "Fetch-group remerges of the last completed run.", s.Remerges)
+	set("mmt_core_catchups_started", "CATCHUP episodes started in the last completed run.", s.CatchupsStarted)
+	set("mmt_core_catchups_aborted", "CATCHUP episodes aborted in the last completed run.", s.CatchupsAborted)
+	set("mmt_core_mispredicts", "Branch mispredicts of the last completed run.", s.Mispredicts)
+	set("mmt_core_lvip_rollbacks", "LVIP value-mispredict rollbacks of the last completed run.", s.LVIPRollbacks)
+	set("mmt_core_squashed_uops", "Uops squashed by rollbacks in the last completed run.", s.SquashedUops)
+	set("mmt_core_reg_merge_hits", "Successful register merges of the last completed run.", s.RegMergeHits)
+}

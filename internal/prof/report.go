@@ -1,0 +1,146 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteReport renders the human-readable view of a profile: the CPI
+// stack, then the topN most expensive sites (0 = all). The layout is
+// stable (golden-tested); machine consumers read the JSON instead.
+func WriteReport(w io.Writer, p *Profile, topN int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "attribution profile (schema %d): %d cycles, %d sites\n\n", p.Schema, p.Cycles, len(p.Sites))
+
+	fmt.Fprintf(w, "CPI stack               cycles       %%\n")
+	for _, comp := range p.CPI.Components() {
+		fmt.Fprintf(w, "  %-16s %12d  %5.1f%%\n", comp.Name, comp.Cycles, pct(comp.Cycles, p.Cycles))
+	}
+	fmt.Fprintln(w)
+
+	top := p.TopSites(topN)
+	fmt.Fprintf(w, "top %d sites by attributed cycles (catchup + rollback)\n", len(top))
+	fmt.Fprintf(w, "%10s %9s %9s %9s %8s %8s %9s %12s %14s %13s %9s\n",
+		"pc", "merged", "split", "solo", "diverge", "remerge", "avg-dist",
+		"catchup-cyc", "lvip hit/miss", "rollback-cyc", "squashed")
+	for i := range top {
+		s := &top[i]
+		avg := 0.0
+		if s.Remerges > 0 {
+			avg = float64(s.RemergeDistSum) / float64(s.Remerges)
+		}
+		fmt.Fprintf(w, "%#10x %9d %9d %9d %8d %8d %9.1f %12d %14s %13d %9d\n",
+			s.PC, s.Merged, s.Split, s.Solo, s.Divergences, s.Remerges, avg,
+			s.CatchupCycles, fmt.Sprintf("%d/%d", s.LVIPHits, s.LVIPMispredicts),
+			s.RollbackCycles, s.SquashedUops)
+	}
+	if p.Overflow != nil {
+		fmt.Fprintf(w, "overflow (sites beyond the per-PC cap): %d diverge, %d catchup-cyc, %d rollback-cyc\n",
+			p.Overflow.Divergences, p.Overflow.CatchupCycles, p.Overflow.RollbackCycles)
+	}
+	return nil
+}
+
+// WriteDiff renders before→after regression view of two profiles: the
+// cycle and CPI-component movement, then the topN sites with the largest
+// attributed-cycle change.
+func WriteDiff(w io.Writer, before, after *Profile, topN int) error {
+	if err := before.Validate(); err != nil {
+		return fmt.Errorf("before: %w", err)
+	}
+	if err := after.Validate(); err != nil {
+		return fmt.Errorf("after: %w", err)
+	}
+	fmt.Fprintf(w, "profile diff: %d -> %d cycles (%s)\n\n",
+		before.Cycles, after.Cycles, pctDelta(before.Cycles, after.Cycles))
+
+	fmt.Fprintf(w, "CPI stack               before        after        delta\n")
+	bc, ac := before.CPI.Components(), after.CPI.Components()
+	for i := range bc {
+		fmt.Fprintf(w, "  %-16s %12d %12d %+12d\n", bc[i].Name, bc[i].Cycles, ac[i].Cycles,
+			int64(ac[i].Cycles)-int64(bc[i].Cycles))
+	}
+	fmt.Fprintln(w)
+
+	// Rank the union of sites by absolute attributed-cycle movement.
+	type move struct {
+		pc                         uint64
+		costD, divergeD, rollbackD int64
+	}
+	bSites := make(map[uint64]*SiteStats, len(before.Sites))
+	for i := range before.Sites {
+		bSites[before.Sites[i].PC] = &before.Sites[i]
+	}
+	seen := make(map[uint64]bool, len(after.Sites))
+	var moves []move
+	addMove := (func(pc uint64, b, a *SiteStats) {
+		var zero SiteStats
+		if b == nil {
+			b = &zero
+		}
+		if a == nil {
+			a = &zero
+		}
+		m := move{pc: pc,
+			costD:     int64(a.Cost()) - int64(b.Cost()),
+			divergeD:  int64(a.Divergences) - int64(b.Divergences),
+			rollbackD: int64(a.LVIPMispredicts) - int64(b.LVIPMispredicts),
+		}
+		if m.costD != 0 || m.divergeD != 0 || m.rollbackD != 0 {
+			moves = append(moves, m)
+		}
+	})
+	for i := range after.Sites {
+		a := &after.Sites[i]
+		seen[a.PC] = true
+		addMove(a.PC, bSites[a.PC], a)
+	}
+	for i := range before.Sites {
+		if b := &before.Sites[i]; !seen[b.PC] {
+			addMove(b.PC, b, nil)
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		ai, aj := abs64(moves[i].costD), abs64(moves[j].costD)
+		if ai != aj {
+			return ai > aj
+		}
+		if moves[i].divergeD != moves[j].divergeD {
+			return abs64(moves[i].divergeD) > abs64(moves[j].divergeD)
+		}
+		return moves[i].pc < moves[j].pc
+	})
+	if topN > 0 && len(moves) > topN {
+		moves = moves[:topN]
+	}
+	fmt.Fprintf(w, "top %d sites by attributed-cycle change\n", len(moves))
+	fmt.Fprintf(w, "%10s %14s %10s %12s\n", "pc", "cost-cyc", "diverge", "lvip-miss")
+	for _, m := range moves {
+		fmt.Fprintf(w, "%#10x %+14d %+10d %+12d\n", m.pc, m.costD, m.divergeD, m.rollbackD)
+	}
+	return nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+func pctDelta(before, after uint64) string {
+	if before == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(after)-float64(before))/float64(before))
+}

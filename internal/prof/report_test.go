@@ -1,0 +1,95 @@
+package prof
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleProfile is a small deterministic profile exercising every report
+// column: a divergence-heavy site, an LVIP-heavy site, a merged-only site
+// and an overflow cell.
+func sampleProfile() *Profile {
+	return &Profile{
+		Schema: SchemaVersion,
+		Cycles: 1000,
+		CPI:    CPIStack{Base: 600, FetchStall: 250, Catchup: 90, Rollback: 40, Drain: 20},
+		Sites: []SiteStats{
+			{PC: 0x40, Merged: 400, Split: 10, Solo: 2},
+			{PC: 0x58, Merged: 30, Split: 70, Solo: 5, Divergences: 12, Remerges: 11,
+				RemergeDistSum: 44, CatchupCycles: 90},
+			{PC: 0x70, Merged: 120, LVIPHits: 50, LVIPMispredicts: 4,
+				RollbackCycles: 40, SquashedUops: 28},
+		},
+		Overflow: &SiteStats{Divergences: 3, CatchupCycles: 7},
+	}
+}
+
+// TestReportGolden locks the top-N report's exact layout.
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, sampleProfile(), 2); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden (rerun with -update and re-review)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReportTopN: topN truncates the ranking, 0 shows everything.
+func TestReportTopN(t *testing.T) {
+	var all, top1 bytes.Buffer
+	p := sampleProfile()
+	if err := WriteReport(&all, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&top1, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(all.String(), "top 3 sites") || !strings.Contains(top1.String(), "top 1 sites") {
+		t.Errorf("topN headers wrong:\n%s\n%s", all.String(), top1.String())
+	}
+	// Rank: 0x58 (cost 90) > 0x70 (cost 40) > 0x40 (cost 0).
+	if !strings.Contains(top1.String(), "0x58") || strings.Contains(top1.String(), "0x70") {
+		t.Errorf("top-1 ranking wrong:\n%s", top1.String())
+	}
+}
+
+// TestWriteDiff: the diff ranks sites by attributed-cycle movement and
+// reports the cycle delta.
+func TestWriteDiff(t *testing.T) {
+	before := sampleProfile()
+	after := sampleProfile()
+	after.Cycles = 900
+	after.CPI.FetchStall = 150
+	after.Sites[1].CatchupCycles = 20 // 0x58 improved by 70
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, before, after, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1000 -> 900 cycles (-10.0%)") {
+		t.Errorf("missing cycle delta:\n%s", out)
+	}
+	if !strings.Contains(out, "0x58") || !strings.Contains(out, "-70") {
+		t.Errorf("missing hottest move:\n%s", out)
+	}
+}

@@ -340,7 +340,7 @@ func (p *Pool) run(j *job, wid int) {
 		}
 		if ok {
 			p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvCacheHit,
-				Track: int32(wid), Name: j.task.Name()})
+				Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
 			p.finish(j, out, true, 0, nil)
 			return
 		}
@@ -365,11 +365,12 @@ func (p *Pool) run(j *job, wid int) {
 			p.met.retries.Inc()
 		}
 		p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvJobRetry,
-			Track: int32(wid), Name: j.task.Name()})
+			Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
 	}
 	dur := time.Since(start)
 	p.traceEvent(obs.Event{TS: p.sinceStart(start), Kind: obs.EvJob, Track: int32(wid),
-		Name: j.task.Name(), Dur: uint64(dur.Microseconds()), Arg: uint64(retries)})
+		Name: j.task.Name(), Dur: uint64(dur.Microseconds()), Arg: uint64(retries),
+		Trace: j.task.TraceID})
 	if err == nil && p.cache != nil {
 		if werr := p.cache.store(j.key, j.task, out); werr != nil && p.opts.Progress != nil {
 			fmt.Fprintf(p.opts.Progress, "runner: cache write for %s failed: %v\n", j.task.Name(), werr)

@@ -2,12 +2,30 @@ package serve
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"net/http"
 	"time"
 
 	"mmt/internal/sim"
 )
+
+// maxTraceIDLen bounds client-chosen correlation ids.
+const maxTraceIDLen = 128
+
+// validateTraceID rejects ids that would corrupt logs or trace files:
+// over-long strings and control or non-ASCII characters.
+func validateTraceID(id string) error {
+	if len(id) > maxTraceIDLen {
+		return fmt.Errorf("trace_id longer than %d bytes", maxTraceIDLen)
+	}
+	for _, r := range id {
+		if r < 0x21 || r > 0x7e {
+			return fmt.Errorf("trace_id contains non-printable or non-ASCII character %q", r)
+		}
+	}
+	return nil
+}
 
 // flight is one admitted simulation: the single execution shared by every
 // job whose task resolved to the same content-addressed key. A flight in
@@ -80,6 +98,9 @@ func (s *Server) queuePositionLocked(key string) int {
 // submit admits, deduplicates, or rejects one submission. A *httpError
 // return carries the status code (and Retry-After for 429).
 func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
+	if err := validateTraceID(req.TraceID); err != nil {
+		return JobStatus{}, badRequest("%v", err)
+	}
 	task, err := s.opts.Resolve(req.Task)
 	if err != nil {
 		return JobStatus{}, badRequest("resolving task: %v", err)
@@ -111,7 +132,7 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
 	// Single-flight dedup: identical work in flight absorbs the
 	// submission without consuming a queue slot.
 	if f, ok := s.flights[key]; ok {
-		j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, true, now)
+		j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, true, req.TraceID, now)
 		f.jobs = append(f.jobs, j)
 		if j.priority > f.priority {
 			f.priority = j.priority
@@ -142,8 +163,12 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
 		}
 	}
 
-	j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, false, now)
+	j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, false, req.TraceID, now)
 	s.seq++
+	// The flight's execution is observed under its creator's correlation
+	// id: the runner stamps it on the EvJob/EvCacheHit events, so dedup
+	// joiners share the creator's timeline (they share its simulation).
+	task.TraceID = j.traceID
 	f := &flight{key: key, task: task, priority: req.Priority, seq: s.seq, jobs: []*Job{j}}
 	s.flights[key] = f
 	heap.Push(&s.queue, f)

@@ -40,6 +40,10 @@ type Job struct {
 	priority int
 	deadline time.Time // zero = none; queued-deadline only
 	dedup    bool      // joined an existing flight at submission
+	// traceID is the job-scoped correlation id: the client's, or minted
+	// from the job id. The flight's creator's id is stamped on the
+	// runner's obs events for the execution.
+	traceID string
 
 	submitted time.Time
 	started   time.Time
@@ -64,6 +68,12 @@ type SubmitRequest struct {
 	// milliseconds; a job still queued past it fails with StateExpired
 	// (0 = the server's default).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// TraceID is an optional client-chosen correlation id for the job
+	// (printable, at most 128 characters). Empty lets the server mint
+	// one from the job id. The id is echoed in every JobStatus and
+	// stamped on the runner's obs events for the job's execution, so one
+	// job is filterable in a busy server's Perfetto trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobStatus is the wire snapshot of a job, returned by POST /v1/jobs and
@@ -76,6 +86,8 @@ type JobStatus struct {
 	Priority int    `json:"priority,omitempty"`
 	// Dedup marks a submission that joined an already-admitted flight.
 	Dedup bool `json:"dedup,omitempty"`
+	// TraceID is the job's correlation id (client-chosen or minted).
+	TraceID string `json:"trace_id,omitempty"`
 	// Source reports how the outcome was produced: "simulated" or
 	// "cache" (the persistent result cache). Empty until terminal.
 	Source string `json:"source,omitempty"`
@@ -98,8 +110,9 @@ func (js *JobStatus) DecodeOutcome() (*sim.Outcome, error) {
 	return sim.UnmarshalOutcome(js.Outcome)
 }
 
-// newJobLocked creates and registers a job (caller holds mu).
-func (s *Server) newJobLocked(task sim.Task, spec sim.TaskSpec, key string, prio int, deadline time.Time, dedup bool, now time.Time) *Job {
+// newJobLocked creates and registers a job (caller holds mu). An empty
+// traceID mints one from the job id.
+func (s *Server) newJobLocked(task sim.Task, spec sim.TaskSpec, key string, prio int, deadline time.Time, dedup bool, traceID string, now time.Time) *Job {
 	s.seq++
 	j := &Job{
 		id:        fmt.Sprintf("j%06d-%.8s", s.seq, key),
@@ -109,9 +122,13 @@ func (s *Server) newJobLocked(task sim.Task, spec sim.TaskSpec, key string, prio
 		priority:  prio,
 		deadline:  deadline,
 		dedup:     dedup,
+		traceID:   traceID,
 		submitted: now,
 		state:     StateQueued,
 		done:      make(chan struct{}),
+	}
+	if j.traceID == "" {
+		j.traceID = "t-" + j.id
 	}
 	s.jobs[j.id] = j
 	return j
@@ -131,6 +148,7 @@ func (s *Server) snapshotLocked(j *Job, now time.Time) JobStatus {
 		State:    j.state,
 		Priority: j.priority,
 		Dedup:    j.dedup,
+		TraceID:  j.traceID,
 		Source:   j.source,
 		Error:    j.errMsg,
 		Outcome:  j.outcome,

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"mmt/internal/prof"
+)
+
+// TestAttributionKeyAndKeyCompat: attribution distinguishes keys, and a
+// plain task's key is byte-identical whether or not the Attribution field
+// exists in this build (omitempty keeps pre-profiler cache entries valid).
+func TestAttributionKeyAndKeyCompat(t *testing.T) {
+	spec := TaskSpec{App: "libsvm", Preset: PresetBase, Threads: 2,
+		Config: &ConfigOverride{MaxInsts: 20000}}
+	plain, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Attribution = true
+	attributed, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPlain, err := plain.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kAttr, err := attributed.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kPlain == kAttr {
+		t.Error("attributed and plain runs share a key; their outcomes differ, so they must not share cache entries")
+	}
+}
+
+// TestAttributionOutcomeRoundTrip: an attributed outcome's profile
+// survives the canonical wire/cache encoding intact.
+func TestAttributionOutcomeRoundTrip(t *testing.T) {
+	spec := TaskSpec{App: "libsvm", Preset: PresetBase, Threads: 2,
+		Config: &ConfigOverride{MaxInsts: 20000}, Attribution: true}
+	task, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.Attribution {
+		t.Fatal("spec.Attribution not carried onto the task")
+	}
+	out, err := task.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attribution == nil {
+		t.Fatal("attributed execution produced no profile")
+	}
+	if err := out.Attribution.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Attribution.Cycles != out.Result.Stats.Cycles {
+		t.Errorf("profile covers %d cycles, run took %d", out.Attribution.Cycles, out.Result.Stats.Cycles)
+	}
+
+	b, err := MarshalOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalOutcome(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Attribution == nil {
+		t.Fatal("profile lost across the codec")
+	}
+	b2, err := MarshalOutcome(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("attributed outcome changed across a codec round trip")
+	}
+	if back.Attribution.Schema != prof.SchemaVersion {
+		t.Errorf("decoded profile schema %d", back.Attribution.Schema)
+	}
+}
+
+// TestAttributionRejectsProfileTasks: the §3 trace-alignment study has no
+// timing core to probe, so the combination is a spec error.
+func TestAttributionRejectsProfileTasks(t *testing.T) {
+	spec := TaskSpec{App: "libsvm", Profile: true, MaxInsts: 5000, Attribution: true}
+	if _, err := spec.Task(); err == nil {
+		t.Error("attribution accepted on a trace-alignment task")
+	}
+}
+
+// TestValidateRejectsOrphanAttribution: a profile can only accompany a
+// timing result.
+func TestValidateRejectsOrphanAttribution(t *testing.T) {
+	o := &Outcome{Attribution: &prof.Profile{Schema: prof.SchemaVersion}}
+	if err := o.Validate(); err == nil {
+		t.Error("attribution without a result validated")
+	}
+}

@@ -77,6 +77,9 @@ type TaskSpec struct {
 	// per-context dynamic instructions for it.
 	Profile  bool `json:"profile,omitempty"`
 	MaxInsts int  `json:"max_insts,omitempty"`
+	// Attribution requests a per-PC attribution profile embedded in the
+	// outcome (timing tasks only; rejected for Profile tasks).
+	Attribution bool `json:"attribution,omitempty"`
 	// Config optionally adjusts the resolved configuration.
 	Config *ConfigOverride `json:"config,omitempty"`
 }
@@ -100,12 +103,16 @@ func (s TaskSpec) Task() (Task, error) {
 	if threads == 0 {
 		threads = 2
 	}
+	if s.Attribution && s.Profile {
+		return Task{}, fmt.Errorf("sim: attribution requires a timing simulation, not a trace-alignment profile")
+	}
 	t := Task{
-		App:      app,
-		Preset:   preset,
-		Threads:  threads,
-		Profile:  s.Profile,
-		MaxInsts: s.MaxInsts,
+		App:         app,
+		Preset:      preset,
+		Threads:     threads,
+		Profile:     s.Profile,
+		MaxInsts:    s.MaxInsts,
+		Attribution: s.Attribution,
 	}
 	if ov := s.Config; !ov.zero() {
 		o := *ov // copy, so the closure does not alias caller memory
@@ -135,9 +142,10 @@ func (s TaskSpec) Name() string {
 }
 
 // Validate checks the outcome's shape: exactly one of Result or Profile
-// is set, and a Result carries its statistics. Both codec directions
-// enforce it, so a torn or hand-edited blob is rejected instead of
-// decoding into an empty outcome.
+// is set, a Result carries its statistics, and an attribution profile
+// only ever accompanies a Result (and is internally consistent). Both
+// codec directions enforce it, so a torn or hand-edited blob is rejected
+// instead of decoding into an empty outcome.
 func (o *Outcome) Validate() error {
 	switch {
 	case o == nil:
@@ -148,6 +156,13 @@ func (o *Outcome) Validate() error {
 		return fmt.Errorf("sim: outcome has neither a result nor a profile")
 	case o.Result != nil && o.Result.Stats == nil:
 		return fmt.Errorf("sim: result outcome without statistics")
+	case o.Attribution != nil && o.Result == nil:
+		return fmt.Errorf("sim: attribution profile without a timing result")
+	}
+	if o.Attribution != nil {
+		if err := o.Attribution.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

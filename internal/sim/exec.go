@@ -9,6 +9,7 @@ import (
 	"mmt/internal/core"
 	"mmt/internal/obs"
 	"mmt/internal/power"
+	"mmt/internal/prof"
 	"mmt/internal/prog"
 	"mmt/internal/trace"
 	"mmt/internal/workloads"
@@ -62,13 +63,27 @@ type Task struct {
 	// traced tasks must Execute directly. Ignored by Profile tasks.
 	Trace       obs.Recorder
 	SampleEvery uint64
+	// Attribution attaches a per-PC attribution profiler (internal/prof)
+	// to the run and embeds its snapshot in the outcome. Unlike Trace,
+	// the profile is part of the serialized outcome, so attributed tasks
+	// cache normally — Attribution IS part of the key (an attributed and
+	// a plain run of the same point are distinct cache entries). Ignored
+	// by Profile (trace-alignment) tasks.
+	Attribution bool
+	// TraceID is the job-scoped correlation id stamped onto the runner's
+	// obs events for this task (serve mints one per job; local drivers
+	// may set their own). Purely observational, NOT part of the key.
+	TraceID string
 }
 
 // Outcome is a task's product: exactly one of Result (timing simulation)
-// or Profile (trace alignment) is non-nil.
+// or Profile (trace alignment) is non-nil. Attribution accompanies a
+// Result when the task requested it (Task.Attribution) and travels with
+// the outcome through the cache and the serving API.
 type Outcome struct {
-	Result  *Result        `json:"result,omitempty"`
-	Profile *trace.Profile `json:"profile,omitempty"`
+	Result      *Result        `json:"result,omitempty"`
+	Profile     *trace.Profile `json:"profile,omitempty"`
+	Attribution *prof.Profile  `json:"attribution,omitempty"`
 }
 
 // Name returns a short human-readable label for progress displays, e.g.
@@ -109,6 +124,10 @@ type taskKeyBlob struct {
 	MaxInsts   int                `json:",omitempty"`
 	Align      *trace.AlignConfig `json:",omitempty"`
 	Config     *core.Config       `json:",omitempty"`
+	// Attribution distinguishes attributed runs: their outcomes carry a
+	// profile, so they must not share cache entries with plain runs.
+	// omitempty keeps every pre-existing (non-attributed) key unchanged.
+	Attribution bool `json:",omitempty"`
 }
 
 // Key returns the task's canonical content-addressed identity: a hex
@@ -118,13 +137,14 @@ type taskKeyBlob struct {
 // alignment parameters (profile tasks).
 func (t Task) Key() (string, error) {
 	blob := taskKeyBlob{
-		Schema:   KeySchema,
-		App:      t.App.Name,
-		Variant:  t.Variant,
-		Preset:   t.Preset,
-		Threads:  t.Threads,
-		Profile:  t.Profile,
-		MaxInsts: t.MaxInsts,
+		Schema:      KeySchema,
+		App:         t.App.Name,
+		Variant:     t.Variant,
+		Preset:      t.Preset,
+		Threads:     t.Threads,
+		Profile:     t.Profile,
+		MaxInsts:    t.MaxInsts,
+		Attribution: t.Attribution && !t.Profile,
 	}
 	if t.App.Source != "" {
 		sum := sha256.Sum256([]byte(t.App.Source))
@@ -181,6 +201,11 @@ func (t Task) Execute() (*Outcome, error) {
 	if t.Trace != nil {
 		c.Attach(t.Trace, t.SampleEvery)
 	}
+	var profiler *prof.Profiler
+	if t.Attribution {
+		profiler = prof.New()
+		c.AttachProbe(profiler)
+	}
 	st, err := c.Run()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", t.Name(), err)
@@ -199,7 +224,11 @@ func (t Task) Execute() (*Outcome, error) {
 		Energy:  model.Energy(st, c.MemEvents()),
 	}
 	res.EnergyPerJob = model.EnergyPerJob(st, c.MemEvents())
-	return &Outcome{Result: res}, nil
+	o := &Outcome{Result: res}
+	if profiler != nil {
+		o.Attribution = profiler.Snapshot()
+	}
+	return o, nil
 }
 
 // Exec executes simulation tasks for the experiment drivers. The drivers
