@@ -1,0 +1,34 @@
+// Command mmtcheck is the static pre-flight linter for workload programs:
+// it decodes an assembled program into a basic-block CFG, computes
+// dominator and post-dominator trees, and reports structural defects —
+// invalid branch targets, unreachable code, paths that fall off the end
+// of the text segment, registers read before any write reaches them,
+// stores that overwrite program text — together with the static
+// redundancy report (straight-line shareable regions, loops, per-branch
+// predicted reconvergence PCs).
+//
+// With -against-profile it cross-validates the static predictions
+// against a dynamic attribution profile: every observed remerge must
+// land at a post-dominator of its divergence site.
+//
+// Usage:
+//
+//	mmtcheck -app equake
+//	mmtcheck -all -format json
+//	mmtcheck -src kernel.s -fail-on error
+//	mmtcheck -app twolf -against-profile twolf.prof.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunCheck(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtcheck:", err)
+		os.Exit(1)
+	}
+}

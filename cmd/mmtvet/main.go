@@ -1,0 +1,31 @@
+// mmtvet is the determinism vettool: it walks the import closure of the
+// simulation roots (internal/core, internal/sim and every mmt/* package
+// they reach) and flags constructs that make simulation results differ
+// between runs — map range iteration, time.Now, math/rand. Simulation
+// outcomes are content-addressed and memoized, so any nondeterminism on
+// those paths silently poisons caches and golden tests.
+//
+// Run it from the module root:
+//
+//	mmtvet
+//	mmtvet -roots mmt/internal/prof
+//	mmtvet -format json
+//
+// Order-insensitive map ranges (sorted immediately after, commutative
+// accumulation) are suppressed with a "mmtvet:ok" comment on the range
+// line; the tool exits non-zero on any unsuppressed finding.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunVet(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtvet:", err)
+		os.Exit(1)
+	}
+}

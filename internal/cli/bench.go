@@ -57,6 +57,7 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runner's workers (open in Perfetto)")
 		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "interval between worker-utilization samples on the trace")
 		metricsAddr = fs.String("metrics-addr", "", "serve live runner metrics, expvar and pprof on this address")
+		precheck    = fs.Bool("precheck", false, "statically analyze every workload program first (mmtcheck) and refuse to run on error findings")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +95,14 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		for _, s := range strings.Split(*only, ",") {
 			if s = strings.TrimSpace(s); !valid[s] {
 				return runner.Summary{}, fmt.Errorf("unknown artifact %q (valid: %s)", s, strings.Join(Artifacts, ","))
+			}
+		}
+	}
+
+	if *precheck {
+		for _, a := range append(workloads.All(), workloads.MP()...) {
+			if err := Precheck(a); err != nil {
+				return runner.Summary{}, err
 			}
 		}
 	}

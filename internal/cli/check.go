@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mmt/internal/asm"
+	"mmt/internal/prof"
+	"mmt/internal/prog"
+	"mmt/internal/static"
+	"mmt/internal/workloads"
+)
+
+// CheckResult is the JSON form of one program's pre-flight check: the
+// static findings, the optional static-vs-dynamic cross-validation, and
+// the redundancy report.
+type CheckResult struct {
+	Program  string           `json:"program"`
+	Findings []static.Finding `json:"findings"`
+	CrossVal []static.Finding `json:"cross_validation,omitempty"`
+	Report   *static.Report   `json:"report"`
+}
+
+// RunCheck is the mmtcheck command: the static pre-flight linter over
+// assembled programs, with optional cross-validation against a dynamic
+// attribution profile.
+func RunCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mmtcheck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		appName = fs.String("app", "", "check one application (see mmtsim -list)")
+		all     = fs.Bool("all", false, "check every registered workload program")
+		srcFile = fs.String("src", "", "check an assembly source file instead of a registered workload")
+		equ     = fs.String("equ", "", "override kernel constants, e.g. MOVES=500,TSIZE=256 (with -app)")
+		format  = fs.String("format", "text", "output format: text or json")
+		failOn  = fs.String("fail-on", "warning", "exit non-zero at this severity or above: info, warning, error (never = always succeed)")
+		against = fs.String("against-profile", "", "cross-validate against an attribution profile JSON (from mmtsim -profile-out)")
+		report  = fs.Bool("report", true, "include the static redundancy report (text format)")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		printVersion(out, "mmtcheck")
+		return nil
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
+	}
+	var failSev static.Severity
+	failNever := *failOn == "never"
+	if !failNever {
+		var err error
+		if failSev, err = static.ParseSeverity(*failOn); err != nil {
+			return err
+		}
+	}
+
+	// Resolve the programs to check.
+	type target struct {
+		name string
+		prog *prog.Program
+	}
+	var targets []target
+	switch {
+	case *srcFile != "":
+		if *appName != "" || *all {
+			return fmt.Errorf("-src excludes -app and -all")
+		}
+		src, err := os.ReadFile(*srcFile)
+		if err != nil {
+			return err
+		}
+		p, err := asm.Assemble(*srcFile, string(src))
+		if err != nil {
+			return fmt.Errorf("assembling %s: %w", *srcFile, err)
+		}
+		targets = append(targets, target{*srcFile, p})
+	case *all:
+		if *appName != "" {
+			return fmt.Errorf("-all excludes -app")
+		}
+		for _, a := range append(workloads.All(), workloads.MP()...) {
+			p, err := asm.Assemble(a.Name, a.Source)
+			if err != nil {
+				return fmt.Errorf("assembling %s: %w", a.Name, err)
+			}
+			targets = append(targets, target{a.Name, p})
+		}
+	case *appName != "":
+		a, ok := workloads.ByName(*appName)
+		if !ok {
+			return fmt.Errorf("unknown application %q", *appName)
+		}
+		if *equ != "" {
+			overrides, err := parseEqu(*equ)
+			if err != nil {
+				return err
+			}
+			a = a.Override(overrides)
+		}
+		p, err := asm.Assemble(a.Name, a.Source)
+		if err != nil {
+			return fmt.Errorf("assembling %s: %w", a.Name, err)
+		}
+		targets = append(targets, target{a.Name, p})
+	default:
+		return fmt.Errorf("nothing to check: pass -app, -all or -src")
+	}
+
+	var profile *prof.Profile
+	if *against != "" {
+		if len(targets) != 1 {
+			return fmt.Errorf("-against-profile needs exactly one program (use -app or -src)")
+		}
+		b, err := os.ReadFile(*against)
+		if err != nil {
+			return err
+		}
+		if profile, err = prof.ParseProfile(b); err != nil {
+			return err
+		}
+	}
+
+	// Analyze everything, then render and decide the exit in one pass.
+	var results []CheckResult
+	worst, any := static.SevInfo, false
+	for _, t := range targets {
+		a := static.Analyze(t.prog)
+		r := CheckResult{Program: t.name, Findings: a.Findings, Report: a.BuildReport()}
+		if r.Findings == nil {
+			r.Findings = []static.Finding{}
+		}
+		if profile != nil {
+			r.CrossVal = a.CrossValidate(profile)
+		}
+		for _, f := range append(append([]static.Finding(nil), r.Findings...), r.CrossVal...) {
+			any = true
+			if f.Sev > worst {
+				worst = f.Sev
+			}
+		}
+		results = append(results, r)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	default:
+		for _, r := range results {
+			fmt.Fprintf(out, "== %s ==\n", r.Program)
+			if *report {
+				r.Report.WriteText(out)
+			}
+			for _, f := range r.Findings {
+				fmt.Fprintf(out, "%s: %s\n", r.Program, f)
+			}
+			if profile != nil {
+				if len(r.CrossVal) == 0 {
+					fmt.Fprintf(out, "%s: cross-validation clean: every observed remerge is a post-dominator of its divergence\n", r.Program)
+				}
+				for _, f := range r.CrossVal {
+					fmt.Fprintf(out, "%s: cross-validation: %s\n", r.Program, f)
+				}
+			}
+		}
+	}
+
+	if !failNever && any && worst >= failSev {
+		return fmt.Errorf("findings at %s severity or above (fail threshold %s)", worst, failSev)
+	}
+	return nil
+}
+
+// Precheck statically analyzes app's program and fails on error-severity
+// findings; the admission gate behind mmtsim/mmtbench -precheck.
+func Precheck(app workloads.App) error {
+	p, err := asm.Assemble(app.Name, app.Source)
+	if err != nil {
+		return fmt.Errorf("precheck: assembling %s: %w", app.Name, err)
+	}
+	if err := static.Check(p); err != nil {
+		return fmt.Errorf("precheck: %w", err)
+	}
+	return nil
+}

@@ -26,7 +26,7 @@ func TestRunSimProfileOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"attribution profile (schema 1)", "CPI stack", "base", "top 5 sites", "pc"} {
+	for _, want := range []string{"attribution profile (schema 2)", "CPI stack", "base", "top 5 sites", "pc"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("report missing %q:\n%s", want, s)
 		}
@@ -80,7 +80,7 @@ func TestRunProfileFromRun(t *testing.T) {
 	if err := RunProfile([]string{"-from-run", pfile, "-top", "3"}, &report); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(report.String(), "attribution profile (schema 1)") {
+	if !strings.Contains(report.String(), "attribution profile (schema 2)") {
 		t.Errorf("render failed:\n%s", report.String())
 	}
 

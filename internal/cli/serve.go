@@ -40,6 +40,7 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
 
 		queue        = fs.Int("queue", 64, "admission queue capacity; beyond it submissions get 429 + Retry-After")
+		precheck     = fs.Bool("precheck", false, "statically analyze submitted programs and reject error findings with 400 (see mmtcheck)")
 		deadline     = fs.Duration("deadline", 0, "default queued-deadline for submissions that carry none (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
 
@@ -83,6 +84,7 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		},
 		MaxQueue:        *queue,
 		DefaultDeadline: *deadline,
+		Precheck:        *precheck,
 	}
 	if *metricsAddr != "" {
 		opts.Metrics = obs.NewRegistry()

@@ -50,6 +50,7 @@ func RunSim(args []string, out io.Writer) error {
 		eventsOut   = fs.String("events-out", "", "write the raw event stream as JSON lines; bypasses the result cache")
 		sampleEvery = fs.Uint64("sample-every", 1000, "cycles between occupancy/IPC samples when tracing (0 = events only)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address while running")
+		precheck    = fs.Bool("precheck", false, "statically analyze the program first (mmtcheck) and refuse to run on error findings")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +106,11 @@ func RunSim(args []string, out io.Writer) error {
 			return err
 		}
 		app = app.Override(overrides)
+	}
+	if *precheck {
+		if err := Precheck(app); err != nil {
+			return err
+		}
 	}
 
 	var reg *obs.Registry

@@ -1,0 +1,5 @@
+; seeded defect: the branch targets 0x5000, far past the end of the
+; text segment (mmtcheck: branch-target, error)
+        tid  r4
+        bnez r4, 0x5000
+        halt

@@ -1,0 +1,4 @@
+; seeded defect: no halt — the only execution path runs past the end
+; of the text segment (mmtcheck: falls-off-end, error)
+        tid  r4
+        addi r5, r4, 1

@@ -1,0 +1,4 @@
+; seeded defect: r4 is read before any write reaches it, so it can only
+; hold the loader's implicit zero (mmtcheck: read-before-write, warning)
+        addi r5, r4, 1
+        halt

@@ -1,0 +1,6 @@
+; seeded defect: the store's statically known address (4096 = 0x1000)
+; lands inside the text segment — self-modifying code the simulator's
+; fetch path would never observe (mmtcheck: store-to-text, error)
+        li   r4, 4096
+        st   r0, 0(r4)
+        halt

@@ -1,0 +1,6 @@
+; seeded defect: the block after halt has no incoming path
+; (mmtcheck: unreachable, warning)
+        tid  r4
+        halt
+dead:   addi r5, r0, 1
+        j    dead

@@ -1,0 +1,4 @@
+; a sound program: every path halts, every read is dominated by a write
+        tid  r4
+        addi r5, r4, 1
+        halt

@@ -104,7 +104,7 @@ func New(cfg Config, sys *prog.System) (*Core, error) {
 				continue
 			}
 			seen[ctx.Prog] = true
-			for pc := range remergeHints(ctx.Prog) {
+			for pc := range remergeHints(ctx.Prog) { // mmtvet:ok — set union, order-insensitive
 				c.hintPCs[pc] = true
 			}
 		}

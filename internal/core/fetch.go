@@ -79,6 +79,36 @@ func (c *Core) canFetch(g *group, now uint64) bool {
 	return ok
 }
 
+// pruneExhausted removes members whose streams are exhausted (halted or
+// instruction-capped, not errored) from a multi-member group, returning
+// true if any were removed. Under a per-thread MaxInsts cap, members of a
+// merged group can run out at different times — the divergent paths they
+// took before merging left their cursors at different counts — and an
+// exhausted member must not pin the whole group: with it still aboard,
+// either fetch stalls forever on an exhausted leader (the remaining
+// members never drain, so the run never ends) or buildUop trips its
+// group invariant on an exhausted non-leader.
+func (c *Core) pruneExhausted(g *group) bool {
+	if g.members.Count() < 2 {
+		return false
+	}
+	var live, done ITID
+	for _, t := range g.members.Threads() {
+		if c.streams[t].exhausted() {
+			done = done.With(t)
+		} else {
+			live = live.With(t)
+		}
+	}
+	if done == 0 || live == 0 {
+		return false
+	}
+	// The exhausted threads need no group: they will never fetch again,
+	// and their in-flight uops commit per-thread regardless.
+	g.members = live
+	return true
+}
+
 // cancelCatchup drops g's behind-role link.
 func (c *Core) cancelCatchup(g *group) {
 	if g.ahead != nil {
@@ -145,9 +175,14 @@ func (c *Core) attemptMerges(now uint64) {
 // mergeGroups unifies b into a.
 func (c *Core) mergeGroups(a, b *group) {
 	c.stats.Remerges++
+	var mergePC uint64
+	if c.rec != nil || c.probe != nil {
+		// The groups merge because their next fetch PCs are equal; that
+		// common PC is the observed reconvergence point.
+		mergePC, _ = c.streams[a.members.First()].nextPC()
+	}
 	if c.rec != nil {
-		pc, _ := c.streams[a.members.First()].nextPC()
-		c.emit(obs.EvRemerge, int32(a.members.First()), pc, uint64((a.members | b.members).Count()))
+		c.emit(obs.EvRemerge, int32(a.members.First()), mergePC, uint64((a.members | b.members).Count()))
 	}
 	dist := a.takenSinceDiverge
 	if b.takenSinceDiverge > dist {
@@ -159,7 +194,7 @@ func (c *Core) mergeGroups(a, b *group) {
 		if dp == 0 {
 			dp = b.divergePC
 		}
-		c.probe.Remerge(dp, dist)
+		c.probe.Remerge(dp, mergePC, dist)
 	}
 	c.dissolveLinks(a)
 	c.dissolveLinks(b)
@@ -280,6 +315,7 @@ func (c *Core) fetchGroup(g *group, width int, now uint64) int {
 		c.stats.WrongPathFetchSlots += uint64(share)
 		return share
 	}
+	c.pruneExhausted(g)
 	if !c.canFetch(g, now) {
 		return 0
 	}
@@ -349,6 +385,9 @@ func (c *Core) fetchGroup(g *group, width int, now uint64) int {
 			}
 		}
 
+		if c.pruneExhausted(g) {
+			break // a member's cap hit mid-run; regroup next cycle
+		}
 		u := c.buildUop(g, rec, now, traceHit)
 		fetched++
 		if u == nil { // divergence or stall decided inside

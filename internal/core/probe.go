@@ -91,9 +91,13 @@ type Probe interface {
 	CommitUop(pc uint64, class CommitClass, threads int)
 	// Diverge: the group fetching pc split into parts subgroups.
 	Diverge(pc uint64, parts int)
-	// Remerge: two groups unified; the episode began at divergence site
-	// divergePC (0 if unknown) and spanned takenBranches taken branches.
-	Remerge(divergePC uint64, takenBranches uint64)
+	// Remerge: two groups unified at remergePC (the common PC both will
+	// fetch next); the episode began at divergence site divergePC (0 if
+	// unknown) and spanned takenBranches taken branches. The
+	// (divergePC, remergePC) pair is the dynamically observed
+	// reconvergence edge internal/static cross-validates against its
+	// post-dominator prediction.
+	Remerge(divergePC, remergePC uint64, takenBranches uint64)
 	// CatchupCycle: a behind group created at divergence site divergePC
 	// spent this cycle in CATCHUP mode.
 	CatchupCycle(divergePC uint64)

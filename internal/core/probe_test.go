@@ -14,7 +14,7 @@ type countingProbe struct {
 
 func (p *countingProbe) CommitUop(pc uint64, class CommitClass, threads int) { p.commits++ }
 func (p *countingProbe) Diverge(pc uint64, parts int)                        { p.diverges++ }
-func (p *countingProbe) Remerge(divergePC, takenBranches uint64)             { p.remerges++ }
+func (p *countingProbe) Remerge(divergePC, remergePC, takenBranches uint64)  { p.remerges++ }
 func (p *countingProbe) CatchupCycle(divergePC uint64)                       { p.catchups++ }
 func (p *countingProbe) LVIPHit(pc uint64)                                   { p.hits++ }
 func (p *countingProbe) LVIPMispredict(pc uint64, penalty, squashed uint64)  { p.mispredicts++ }

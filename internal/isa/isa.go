@@ -234,6 +234,28 @@ func (op Op) IsControl() bool {
 // HasDest reports whether op writes a destination register.
 func (op Op) HasDest() bool { return op.Valid() && opTable[op].hasRd }
 
+// ControlTarget returns the statically known control-flow target of i: the
+// absolute address a conditional branch or jal redirects to. The second
+// return value is false for non-control instructions and for jalr, whose
+// target is register-relative and unknowable without execution. The static
+// analyzer (internal/static) and the disassembler both resolve targets
+// through this single definition, so they cannot drift.
+func (i Inst) ControlTarget() (uint64, bool) {
+	if !i.Op.IsControl() || i.Op == OpJalr {
+		return 0, false
+	}
+	return uint64(i.Imm), true
+}
+
+// IsCall reports whether i is a direct jump that links a return address
+// (jal with a live destination): the static analyzer treats it as a call
+// that falls through to the next instruction after the callee returns.
+func (i Inst) IsCall() bool { return i.Op == OpJal && i.Rd != RegZero }
+
+// IsReturn reports whether i is the conventional function return
+// (jalr through the return-address register, discarding the link).
+func (i Inst) IsReturn() bool { return i.Op == OpJalr && i.Rs1 == RegRA && i.Rd == RegZero }
+
 // OpByName returns the opcode with the given assembler mnemonic.
 func OpByName(name string) (Op, bool) {
 	op, ok := opsByName[name]

@@ -1,0 +1,265 @@
+// Package lint is the determinism vettool behind cmd/mmtvet. Simulation
+// results must be byte-identical at any -j: the runner memoizes outcomes
+// by content-addressed key, the golden tests pin dynamic instruction
+// counts, and the serving layer dedups concurrent submissions — all of
+// which collapses if a simulation path consults a nondeterministic
+// source. The analyzer walks the import closure of the simulation roots
+// (internal/core, internal/sim, and everything mmt/* they reach) and
+// flags the three classic leaks:
+//
+//   - ranging over a map (iteration order differs run to run);
+//   - time.Now (wall-clock dependent results);
+//   - importing math/rand or math/rand/v2 (unseeded global state).
+//
+// A map range whose effect is order-insensitive (the results are sorted
+// immediately afterwards, or it only accumulates a commutative reduction)
+// is suppressed with a "mmtvet:ok" comment on the range line. time.Now
+// and math/rand have no sanctioned use inside the closure.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	// Pkg is the import path of the offending package.
+	Pkg string `json:"pkg"`
+	// Pos is the file:line:col position string.
+	Pos string `json:"pos"`
+	// Code identifies the rule: map-range, time-now, math-rand.
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Code, f.Msg)
+}
+
+// Rule codes.
+const (
+	CodeMapRange = "map-range"
+	CodeTimeNow  = "time-now"
+	CodeMathRand = "math-rand"
+)
+
+// Module is the import-path prefix of packages the analyzer follows.
+const Module = "mmt"
+
+// Check analyzes the import closure of roots (mmt/... import paths) in
+// the module rooted at dir, and returns the findings sorted by position.
+// The type checker resolves imports from source, so dir must be the
+// module root (where go.mod lives).
+func Check(dir string, roots []string) ([]Finding, error) {
+	// srcimporter resolves "mmt/..." through go/build, which finds the
+	// module only when the working directory is the module root.
+	restore, err := enterDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	pkgs, err := closure(dir, roots)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := checkPackage(fset, imp, dir, pkg)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		return findings[i].Code < findings[j].Code
+	})
+	return findings, nil
+}
+
+// enterDir chdirs to dir and returns a restore function.
+func enterDir(dir string) (func(), error) {
+	old, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Chdir(dir); err != nil {
+		return nil, err
+	}
+	return func() { os.Chdir(old) }, nil //nolint:errcheck // best-effort restore
+}
+
+// pkgDir maps an mmt/... import path to its directory under the module
+// root.
+func pkgDir(root, path string) string {
+	return filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(path, Module+"/")))
+}
+
+// closure BFS-walks mmt/* imports from the roots and returns the
+// reachable import paths, sorted.
+func closure(dir string, roots []string) ([]string, error) {
+	seen := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		imports, err := packageImports(pkgDir(dir, path))
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		for _, imp := range imports {
+			if imp == Module || strings.HasPrefix(imp, Module+"/") {
+				queue = append(queue, imp)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen { // mmtvet:ok — sorted immediately below
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// packageImports parses the non-test source files in dir and returns
+// their import paths.
+func packageImports(dir string) ([]string, error) {
+	files, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// sourceFiles lists dir's buildable non-test Go files, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// checkPackage type-checks one package and applies the determinism rules.
+func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string) ([]Finding, error) {
+	names, err := sourceFiles(pkgDir(dir, path))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	if _, err := conf.Check(path, fset, files, info); err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+
+	var findings []Finding
+	add := func(pos token.Pos, code, format string, args ...any) {
+		findings = append(findings, Finding{
+			Pkg:  path,
+			Pos:  fset.Position(pos).String(),
+			Code: code,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		okLines := suppressedLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				p, _ := strconv.Unquote(n.Path.Value)
+				if p == "math/rand" || p == "math/rand/v2" {
+					add(n.Pos(), CodeMathRand,
+						"import of %s: unseeded nondeterministic state on a simulation path", p)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap &&
+						!okLines[fset.Position(n.Pos()).Line] {
+						add(n.Pos(), CodeMapRange,
+							"range over %s: map iteration order varies run to run (sort first, or annotate mmtvet:ok if order-insensitive)",
+							tv.Type)
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj, ok := info.Uses[n.Sel]; ok {
+					if fn, isFn := obj.(*types.Func); isFn && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+						add(n.Pos(), CodeTimeNow,
+							"time.Now on a simulation path: results become wall-clock dependent")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// suppressedLines collects the lines carrying a "mmtvet:ok" annotation.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "mmtvet:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSimulationClosureClean is the enforcement test behind the CI vet
+// step: the simulation packages' import closure carries no unsuppressed
+// nondeterminism.
+func TestSimulationClosureClean(t *testing.T) {
+	findings, err := Check(moduleRoot(t), []string{"mmt/internal/core", "mmt/internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("determinism: %s", f)
+	}
+}
+
+// TestFixtureViolations proves the analyzer actually fires: the badpkg
+// fixture commits one of each violation plus one annotated (suppressed)
+// map range.
+func TestFixtureViolations(t *testing.T) {
+	findings, err := Check(moduleRoot(t), []string{"mmt/internal/lint/testdata/badpkg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Code]++
+		if !strings.Contains(f.Pos, "bad.go") {
+			t.Errorf("finding outside the fixture: %s", f)
+		}
+	}
+	want := map[string]int{CodeMapRange: 1, CodeTimeNow: 1, CodeMathRand: 1}
+	for code, n := range want {
+		if counts[code] != n {
+			t.Errorf("%s findings = %d, want %d (all: %v)", code, counts[code], n, findings)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("total findings = %d, want 3 (the annotated range must stay suppressed): %v",
+			len(findings), findings)
+	}
+}
+
+// TestClosureFollowsImports: the closure reaches transitive mmt/*
+// dependencies of the roots, not just the roots themselves.
+func TestClosureFollowsImports(t *testing.T) {
+	pkgs, err := closure(moduleRoot(t), []string{"mmt/internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range pkgs {
+		got[p] = true
+	}
+	for _, want := range []string{"mmt/internal/sim", "mmt/internal/core", "mmt/internal/prof", "mmt/internal/isa"} {
+		if !got[want] {
+			t.Errorf("closure missing %s (got %v)", want, pkgs)
+		}
+	}
+}

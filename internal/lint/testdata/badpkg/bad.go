@@ -1,0 +1,30 @@
+// Package badpkg is the mmtvet negative fixture: it commits every
+// determinism sin the analyzer knows, plus one sanctioned (annotated)
+// map range. The directory lives under testdata so the go tool never
+// builds it; only the analyzer reads it.
+package badpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tally sums a map's values (order-insensitive, annotated) and then
+// leaks iteration order into the result slice (violation).
+func Tally(m map[string]int) (int, []string) {
+	sum := 0
+	for _, v := range m { // mmtvet:ok — commutative sum
+		sum += v
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return sum, keys
+}
+
+// Stamp depends on the wall clock (violation).
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the unseeded global source (import violation).
+func Jitter() int { return rand.Int() }

@@ -243,7 +243,7 @@ func (r *Registry) ensure(name, help string, kind metricKind) *metricEntry {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	entries := make([]*metricEntry, 0, len(r.entries))
-	for _, e := range r.entries {
+	for _, e := range r.entries { // mmtvet:ok — sorted by name below
 		entries = append(entries, e)
 	}
 	r.mu.Unlock()
@@ -278,7 +278,7 @@ func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]any, len(r.entries))
-	for name, e := range r.entries {
+	for name, e := range r.entries { // mmtvet:ok — builds a map, order-insensitive
 		switch e.kind {
 		case kindCounter:
 			out[name] = e.counter.Value()

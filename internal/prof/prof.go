@@ -19,7 +19,10 @@ import (
 
 // SchemaVersion identifies the Profile JSON layout. Parsers reject other
 // versions instead of misreading renamed fields.
-const SchemaVersion = 1
+//
+// History: 1 initial layout; 2 added RemergeEdges (observed
+// divergence->reconvergence edges for static cross-validation).
+const SchemaVersion = 2
 
 // DefaultMaxSites bounds the per-PC map, mirroring core.MaxDivergencePCs:
 // attribution beyond the first DefaultMaxSites distinct PCs (in
@@ -123,16 +126,32 @@ type Profile struct {
 	Sites []SiteStats `json:"sites,omitempty"`
 	// Overflow pools attribution beyond the profiler's site cap (PC 0).
 	Overflow *SiteStats `json:"overflow,omitempty"`
+	// RemergeEdges are the observed (divergence site -> reconvergence PC)
+	// pairs with occurrence counts, sorted by diverge then remerge PC.
+	// Edges whose divergence site is unknown (PC 0, e.g. the initial
+	// whole-machine groups merging at startup) are not recorded.
+	RemergeEdges []RemergeEdge `json:"remerge_edges,omitempty"`
+	// RemergeEdgesDropped counts edges beyond the profiler's cap.
+	RemergeEdgesDropped uint64 `json:"remerge_edges_dropped,omitempty"`
+}
+
+// RemergeEdge is one observed divergence->reconvergence pair.
+type RemergeEdge struct {
+	DivergePC uint64 `json:"diverge_pc"`
+	RemergePC uint64 `json:"remerge_pc"`
+	Count     uint64 `json:"count"`
 }
 
 // Profiler accumulates attribution from one single-threaded core. It is
 // not safe for concurrent use (neither is the core driving it).
 type Profiler struct {
-	maxSites int
-	sites    map[uint64]*SiteStats
-	overflow SiteStats
-	cpi      [core.NumCycleComponents]uint64
-	cycles   uint64
+	maxSites     int
+	sites        map[uint64]*SiteStats
+	overflow     SiteStats
+	edges        map[RemergeEdge]uint64 // key has Count == 0
+	edgesDropped uint64
+	cpi          [core.NumCycleComponents]uint64
+	cycles       uint64
 }
 
 var _ core.Probe = (*Profiler)(nil)
@@ -146,7 +165,11 @@ func NewWithCap(maxSites int) *Profiler {
 	if maxSites < 1 {
 		maxSites = 1
 	}
-	return &Profiler{maxSites: maxSites, sites: make(map[uint64]*SiteStats)}
+	return &Profiler{
+		maxSites: maxSites,
+		sites:    make(map[uint64]*SiteStats),
+		edges:    make(map[RemergeEdge]uint64),
+	}
 }
 
 // site returns the stats cell charged for pc: nil for the unattributable
@@ -190,11 +213,20 @@ func (p *Profiler) Diverge(pc uint64, parts int) {
 }
 
 // Remerge implements core.Probe.
-func (p *Profiler) Remerge(divergePC, takenBranches uint64) {
+func (p *Profiler) Remerge(divergePC, remergePC uint64, takenBranches uint64) {
 	if s := p.site(divergePC); s != nil {
 		s.Remerges++
 		s.RemergeDistSum += takenBranches
 	}
+	if divergePC == 0 || remergePC == 0 {
+		return // unattributable (initial groups, drained stream)
+	}
+	k := RemergeEdge{DivergePC: divergePC, RemergePC: remergePC}
+	if _, ok := p.edges[k]; !ok && len(p.edges) >= p.maxSites {
+		p.edgesDropped++
+		return
+	}
+	p.edges[k]++
 }
 
 // CatchupCycle implements core.Probe.
@@ -242,7 +274,7 @@ func (p *Profiler) Snapshot() *Profile {
 			Drain:      p.cpi[core.CycDrain],
 		},
 	}
-	for _, s := range p.sites {
+	for _, s := range p.sites { // mmtvet:ok — sorted by PC below
 		if !s.zero() {
 			out.Sites = append(out.Sites, *s)
 		}
@@ -252,7 +284,22 @@ func (p *Profiler) Snapshot() *Profile {
 		ov := p.overflow
 		out.Overflow = &ov
 	}
+	for k, n := range p.edges { // mmtvet:ok — sortEdges below
+		k.Count = n
+		out.RemergeEdges = append(out.RemergeEdges, k)
+	}
+	sortEdges(out.RemergeEdges)
+	out.RemergeEdgesDropped = p.edgesDropped
 	return out
+}
+
+func sortEdges(es []RemergeEdge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].DivergePC != es[j].DivergePC {
+			return es[i].DivergePC < es[j].DivergePC
+		}
+		return es[i].RemergePC < es[j].RemergePC
+	})
 }
 
 // Validate checks structural invariants: the schema version and the
@@ -324,6 +371,24 @@ func (p *Profile) Merge(o *Profile) {
 		}
 		p.Overflow.add(o.Overflow)
 	}
+	if len(o.RemergeEdges) > 0 {
+		byEdge := make(map[RemergeEdge]int, len(p.RemergeEdges))
+		for i, e := range p.RemergeEdges {
+			e.Count = 0
+			byEdge[e] = i
+		}
+		for _, e := range o.RemergeEdges {
+			k := e
+			k.Count = 0
+			if j, ok := byEdge[k]; ok {
+				p.RemergeEdges[j].Count += e.Count
+			} else {
+				p.RemergeEdges = append(p.RemergeEdges, e)
+			}
+		}
+		sortEdges(p.RemergeEdges)
+	}
+	p.RemergeEdgesDropped += o.RemergeEdgesDropped
 }
 
 // TopSites returns up to n sites ranked most-expensive first: attributed

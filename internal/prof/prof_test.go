@@ -197,3 +197,60 @@ func TestProfilerOverflowAndPC0(t *testing.T) {
 		t.Errorf("cycles=%d cpi=%+v", s.Cycles, s.CPI)
 	}
 }
+
+// TestRemergeEdges covers the edge ledger: unattributable endpoints are
+// skipped, repeats accumulate, the snapshot is sorted, the cap counts
+// drops, and Merge sums edge counts across shards.
+func TestRemergeEdges(t *testing.T) {
+	p := NewWithCap(2)
+	p.Remerge(0, 0x1020, 1) // unknown divergence site
+	p.Remerge(0x1010, 0, 1) // unknown remerge target
+	p.Remerge(0x1010, 0x1020, 3)
+	p.Remerge(0x1000, 0x1020, 1)
+	p.Remerge(0x1010, 0x1020, 2) // same edge again
+	p.Remerge(0x1030, 0x1040, 1) // third distinct edge: over the cap
+	s := p.Snapshot()
+	want := []RemergeEdge{
+		{DivergePC: 0x1000, RemergePC: 0x1020, Count: 1},
+		{DivergePC: 0x1010, RemergePC: 0x1020, Count: 2},
+	}
+	if !reflect.DeepEqual(s.RemergeEdges, want) {
+		t.Errorf("edges = %+v, want %+v", s.RemergeEdges, want)
+	}
+	if s.RemergeEdgesDropped != 1 {
+		t.Errorf("dropped = %d, want 1", s.RemergeEdgesDropped)
+	}
+
+	m := &Profile{Schema: SchemaVersion}
+	m.Merge(s)
+	m.Merge(s)
+	if got := m.RemergeEdges[1].Count; got != 4 {
+		t.Errorf("merged edge count = %d, want 4", got)
+	}
+	if m.RemergeEdgesDropped != 2 {
+		t.Errorf("merged dropped = %d, want 2", m.RemergeEdgesDropped)
+	}
+}
+
+// TestRemergeEdgesObserved: a real divergent run records edges, and every
+// edge's divergence endpoint is a site the profiler saw diverge.
+func TestRemergeEdgesObserved(t *testing.T) {
+	_, profile := runProfiled(t)
+	if len(profile.RemergeEdges) == 0 {
+		t.Fatal("divergent run recorded no remerge edges")
+	}
+	diverged := map[uint64]bool{}
+	for _, s := range profile.Sites {
+		if s.Divergences > 0 {
+			diverged[s.PC] = true
+		}
+	}
+	for _, e := range profile.RemergeEdges {
+		if e.Count == 0 {
+			t.Errorf("edge %#x->%#x has zero count", e.DivergePC, e.RemergePC)
+		}
+		if !diverged[e.DivergePC] {
+			t.Errorf("edge %#x->%#x: divergence PC has no recorded divergence", e.DivergePC, e.RemergePC)
+		}
+	}
+}

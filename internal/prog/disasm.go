@@ -13,15 +13,33 @@ import (
 func Disassemble(p *Program) string {
 	// Invert the symbol table for label lookup.
 	labels := make(map[uint64][]string)
-	for name, addr := range p.Symbols {
+	for name, addr := range p.Symbols { // mmtvet:ok — per-address lists sorted below
 		labels[addr] = append(labels[addr], name)
 	}
-	for _, names := range labels {
+	for _, names := range labels { // mmtvet:ok — independent per-entry sort
 		sort.Strings(names)
 	}
 	symFor := func(addr uint64) string {
 		if names, ok := labels[addr]; ok {
 			return names[0]
+		}
+		return ""
+	}
+	// Sorted symbol addresses, for nearest-preceding-label annotation of
+	// targets that fall between labels.
+	addrs := make([]uint64, 0, len(labels))
+	for addr := range labels { // mmtvet:ok — sorted below, lookup only
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	annotate := func(addr uint64) string {
+		if s := symFor(addr); s != "" {
+			return s
+		}
+		i := sort.Search(len(addrs), func(i int) bool { return addrs[i] > addr })
+		if i > 0 {
+			base := addrs[i-1]
+			return fmt.Sprintf("%s+%#x", symFor(base), addr-base)
 		}
 		return ""
 	}
@@ -34,9 +52,12 @@ func Disassemble(p *Program) string {
 			fmt.Fprintf(&b, "%s:\n", name)
 		}
 		text := in.String()
-		// Rewrite absolute control-flow targets symbolically.
-		if in.Op.IsControl() && in.Op != isa.OpJalr {
-			if s := symFor(uint64(in.Imm)); s != "" {
+		// Rewrite absolute control-flow targets symbolically. Target
+		// resolution goes through isa.ControlTarget — the same definition
+		// the static analyzer builds its CFG from — so the listing and
+		// the analysis cannot disagree about where a branch goes.
+		if tgt, ok := in.ControlTarget(); ok {
+			if s := annotate(tgt); s != "" {
 				if idx := strings.LastIndex(text, "0x"); idx >= 0 {
 					text = text[:idx] + s
 				}

@@ -42,6 +42,26 @@ func TestDisassembleUnlabeledTarget(t *testing.T) {
 	}
 }
 
+func TestDisassembleTargetBetweenLabels(t *testing.T) {
+	// A branch into the middle of a labeled region annotates as the
+	// nearest preceding label plus an offset.
+	p := &Program{
+		Name: "x", Base: CodeBase, Entry: CodeBase,
+		Insts: []isa.Inst{
+			{Op: isa.OpBne, Rs1: 5, Imm: int64(CodeBase + 2*isa.InstBytes)},
+			{Op: isa.OpNop},
+			{Op: isa.OpNop},
+			{Op: isa.OpHalt},
+		},
+		Data:    NewMemory(),
+		Symbols: map[string]uint64{"body": CodeBase + isa.InstBytes},
+	}
+	out := Disassemble(p)
+	if !strings.Contains(out, "bne r5, r0, body+0x4") {
+		t.Errorf("between-labels target not annotated:\n%s", out)
+	}
+}
+
 func TestDisassembleRange(t *testing.T) {
 	p := testProgram()
 	out := DisassembleRange(p, CodeBase+8, 1)

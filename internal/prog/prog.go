@@ -74,7 +74,7 @@ func (m *Memory) Write64(addr uint64, val uint64) {
 // program image once per context so that no memory is shared (§3.1).
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for pn, p := range m.pages {
+	for pn, p := range m.pages { // mmtvet:ok — rebuilds a map, order-insensitive
 		cp := *p
 		c.pages[pn] = &cp
 	}
@@ -122,7 +122,7 @@ func (p *Program) Symbol(name string) (uint64, bool) {
 // debugging output.
 func (p *Program) SortedSymbols() []string {
 	names := make([]string, 0, len(p.Symbols))
-	for n := range p.Symbols {
+	for n := range p.Symbols { // mmtvet:ok — sorted by address below
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {

@@ -105,6 +105,11 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
 	if err != nil {
 		return JobStatus{}, badRequest("resolving task: %v", err)
 	}
+	if s.pre != nil {
+		if err := s.pre.check(task); err != nil {
+			return JobStatus{}, badRequest("precheck: %v", err)
+		}
+	}
 	key, err := task.Key()
 	if err != nil {
 		return JobStatus{}, badRequest("keying task: %v", err)

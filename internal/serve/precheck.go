@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"mmt/internal/asm"
+	"mmt/internal/sim"
+	"mmt/internal/static"
+)
+
+// The Precheck admission gate: before a submitted task is admitted, its
+// program is assembled and statically analyzed (internal/static), and
+// error-severity findings reject the job with 400 instead of burning a
+// worker on a program that falls off its text segment or overwrites its
+// own code. Analyses are memoized by the source hash — a busy server
+// sees the same handful of programs over and over, so each distinct
+// source is analyzed exactly once for the server's lifetime.
+
+type prechecker struct {
+	mu   sync.Mutex
+	seen map[[sha256.Size]byte]error
+}
+
+func newPrechecker() *prechecker {
+	return &prechecker{seen: make(map[[sha256.Size]byte]error)}
+}
+
+// check returns the cached or freshly computed static verdict for the
+// task's program. Tasks built without a workload source (custom Build
+// hooks from an embedder's Resolve) are not checkable and pass.
+func (pc *prechecker) check(task sim.Task) error {
+	if task.App.Source == "" {
+		return nil
+	}
+	h := sha256.New()
+	h.Write([]byte(task.App.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(task.App.Source))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+
+	pc.mu.Lock()
+	verdict, ok := pc.seen[key]
+	pc.mu.Unlock()
+	if ok {
+		return verdict
+	}
+
+	p, err := asm.Assemble(task.App.Name, task.App.Source)
+	if err != nil {
+		verdict = fmt.Errorf("assembling %s: %w", task.App.Name, err)
+	} else {
+		verdict = static.Check(p)
+	}
+	pc.mu.Lock()
+	pc.seen[key] = verdict
+	pc.mu.Unlock()
+	return verdict
+}

@@ -67,6 +67,11 @@ type Options struct {
 	// sim.TaskSpec.Task). Tests and embedders can interpose validation or
 	// synthetic tasks here.
 	Resolve func(sim.TaskSpec) (sim.Task, error)
+	// Precheck statically analyzes each submitted task's program
+	// (internal/static) and rejects jobs whose programs carry
+	// error-severity findings with 400 before they reach the queue.
+	// Analyses are memoized by source hash for the server's lifetime.
+	Precheck bool
 	// Metrics, when non-nil, receives the serving counters, queue depth
 	// gauge and latency histograms for the /metrics endpoint.
 	Metrics *obs.Registry
@@ -79,6 +84,7 @@ type Server struct {
 	pool  *runner.Pool
 	mux   *http.ServeMux
 	met   *metrics
+	pre   *prechecker // non-nil when Options.Precheck is set
 	start time.Time
 
 	// reqLatency and jobLatency always exist (registered when a registry
@@ -142,6 +148,9 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 		jobs:        make(map[string]*Job),
 		flights:     make(map[string]*flight),
 		completions: make(map[string]runner.Completion),
+	}
+	if opts.Precheck {
+		s.pre = newPrechecker()
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if opts.Metrics != nil {

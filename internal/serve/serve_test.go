@@ -17,6 +17,7 @@ import (
 	"mmt/internal/prog"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
+	"mmt/internal/workloads"
 )
 
 // cheapSpec is a real but bounded simulation: libsvm capped at 20k
@@ -634,5 +635,53 @@ func TestServeMetricsExposition(t *testing.T) {
 	}
 	if !strings.Contains(out, "mmt_runner_") {
 		t.Error("pool metrics not shared into the serve registry")
+	}
+}
+
+// TestPrecheckAdmissionGate proves the static admission gate: a
+// submission whose resolved program carries error-severity findings is
+// rejected with 400 before it consumes a queue slot (and the memoized
+// verdict answers resubmissions), while a sound program is admitted and
+// runs to completion on the same server.
+func TestPrecheckAdmissionGate(t *testing.T) {
+	// No halt and no branch: execution falls off the end of the text
+	// segment, an error-severity static finding.
+	const badSrc = `
+        tid  r4
+        addi r5, r4, 1
+`
+	resolve := func(spec sim.TaskSpec) (sim.Task, error) {
+		task, err := cheapSpec(20000).Task()
+		if err != nil {
+			return sim.Task{}, err
+		}
+		if spec.App == "broken" {
+			task.App = workloads.App{Name: "broken", Source: badSrc}
+		}
+		return task, nil
+	}
+	_, hs := startServer(t, Options{
+		Runner:   runner.Options{Workers: 1},
+		MaxQueue: 4,
+		Precheck: true,
+		Resolve:  resolve,
+	})
+
+	for i := 0; i < 2; i++ { // the second round answers from the memo
+		_, resp := postJob(t, hs.URL, SubmitRequest{Task: sim.TaskSpec{App: "broken"}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad program round %d: %s, want 400", i, resp.Status)
+		}
+	}
+
+	st, resp := postJob(t, hs.URL, SubmitRequest{Task: cheapSpec(20000)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sound program: %s, want 202", resp.Status)
+	}
+	if got := waitDone(t, hs.URL, st.ID); got.State != StateDone {
+		t.Fatalf("sound program job: %s (error %q)", got.State, got.Error)
+	}
+	if stats := getStats(t, hs.URL); stats.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1 (rejections must not count)", stats.Submitted)
 	}
 }

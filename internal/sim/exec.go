@@ -21,8 +21,10 @@ import (
 // the points are re-simulated instead of being served stale.
 //
 // Schema history: 2 renamed core.Stats.FetchUops to FetchAccesses (entries
-// written by schema-1 binaries would decode with zero fetch counts).
-const KeySchema = 2
+// written by schema-1 binaries would decode with zero fetch counts);
+// 3 profiles gained remerge edges (prof schema 2) — older cached outcomes
+// would fail profile validation and lack cross-validation data.
+const KeySchema = 3
 
 // Task fully describes one unit of experiment work: a timing simulation of
 // one (app, preset, threads) point — possibly with a configuration mutation

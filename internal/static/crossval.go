@@ -1,0 +1,120 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"mmt/internal/prof"
+)
+
+// Cross-validation joins the static analysis against a dynamic
+// attribution profile (internal/prof) of the same program. The core's
+// FHB/CATCHUP machinery discovers reconvergence with no knowledge of the
+// CFG; the post-dominator tree says where reconvergence is structurally
+// possible. Checking one against the other catches bugs on both sides:
+// a core that remerges at a non-post-dominator has unified groups whose
+// futures can still differ (an attribution bug at best, a correctness
+// bug at worst), and a profile charging PCs outside the program text has
+// corrupted bookkeeping.
+//
+// The FHB merges groups wherever their fetch PCs coincide, so the sound
+// structural invariant has two legal shapes: a *forward* remerge must
+// land at a post-dominator of the divergence branch (the structural
+// join), while a *loop-carried* remerge may land at any PC sharing a
+// cycle with the branch — the groups re-met on a later iteration, most
+// often at the loop header, before reaching the branch's immediate
+// post-dominator. Anything else means the machinery unified groups at a
+// point the program's structure cannot explain.
+//
+// Verdict severities:
+//
+//   - remerge-non-postdom (error): an observed forward remerge PC does
+//     not post-dominate its divergence site (and shares no cycle with
+//     it) — the structural invariant the dynamic machinery must uphold.
+//   - remerge-loop-carried (info): the remerge PC and the divergence
+//     branch lie on a common cycle; the groups re-met on a later loop
+//     iteration. Legal and common for divergence inside loops.
+//   - profile-site (error): the profile attributes divergence or remerge
+//     to a PC outside the program text.
+//   - diverge-never-remerged (warning): a site diverged but no remerge
+//     was ever attributed to it — threads drained apart, or CATCHUP gave
+//     up every time; worth a look but legal.
+//   - reconv-never-observed (info): a branch diverged and remerged, but
+//     never at its predicted (immediate post-dominator) PC. The groups
+//     met earlier or later than the structural join; expected for
+//     branches inside loops, so informational only.
+
+// CrossValidate checks profile p against the analysis and returns the
+// joined findings, sorted by PC then code. The analysis's own static
+// findings are not repeated.
+func (a *Analysis) CrossValidate(p *prof.Profile) []Finding {
+	var fs []Finding
+	add := func(sev Severity, code string, pc uint64, format string, args ...any) {
+		fs = append(fs, Finding{Sev: sev, Code: code, PC: pc, Msg: fmt.Sprintf(format, args...)})
+	}
+	inText := func(pc uint64) bool { return a.indexOf(pc) >= 0 }
+
+	// Remerge edges: the post-dominance invariant.
+	remergedAt := make(map[uint64]map[uint64]bool) // divergePC -> set of observed remerge PCs
+	for _, e := range p.RemergeEdges {
+		switch {
+		case !inText(e.DivergePC):
+			add(SevError, CodeProfileSite, e.DivergePC,
+				"profile remerge edge diverges at %#x, outside the program text", e.DivergePC)
+			continue
+		case !inText(e.RemergePC):
+			add(SevError, CodeProfileSite, e.RemergePC,
+				"profile remerge edge rejoins at %#x, outside the program text", e.RemergePC)
+			continue
+		}
+		set := remergedAt[e.DivergePC]
+		if set == nil {
+			set = make(map[uint64]bool)
+			remergedAt[e.DivergePC] = set
+		}
+		set[e.RemergePC] = true
+		if !a.PostDominates(e.RemergePC, e.DivergePC) {
+			db, rb := a.BlockAt(e.DivergePC), a.BlockAt(e.RemergePC)
+			if a.canReach(rb, db) && a.canReach(db, rb) {
+				add(SevInfo, CodeRemergeLoop, e.DivergePC,
+					"loop-carried remerge at %#x (%d times): the groups re-met on a later iteration instead of the structural join",
+					e.RemergePC, e.Count)
+			} else {
+				add(SevError, CodeRemergeNonPD, e.DivergePC,
+					"observed remerge at %#x (%d times) does not post-dominate the divergence at %#x",
+					e.RemergePC, e.Count, e.DivergePC)
+			}
+		}
+	}
+
+	// Site-level checks: divergence attributed to valid branch sites, and
+	// every diverging site eventually remerging somewhere.
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		if s.Divergences == 0 {
+			continue
+		}
+		if !inText(s.PC) {
+			add(SevError, CodeProfileSite, s.PC,
+				"profile attributes %d divergences to %#x, outside the program text", s.Divergences, s.PC)
+			continue
+		}
+		if s.Remerges == 0 && len(remergedAt[s.PC]) == 0 {
+			add(SevWarning, CodeDivergeNoJoin, s.PC,
+				"site diverged %d times but no remerge was ever attributed to it", s.Divergences)
+			continue
+		}
+		if want, ok := a.Reconv[s.PC]; ok && !remergedAt[s.PC][want] {
+			add(SevInfo, CodeReconvMissed, s.PC,
+				"predicted reconvergence at %#x never observed (remerges landed elsewhere)", want)
+		}
+	}
+
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].PC != fs[j].PC {
+			return fs[i].PC < fs[j].PC
+		}
+		return fs[i].Code < fs[j].Code
+	})
+	return fs
+}

@@ -1,0 +1,137 @@
+package static
+
+import (
+	"testing"
+
+	"mmt/internal/prof"
+)
+
+// crossSrc is the diamond-in-a-loop every cross-validation case can be
+// phrased against: the bnez at "head" diverges, both arms rejoin at
+// "join", and the loop branch at the bottom closes the cycle.
+const crossSrc = `
+        tid  r4
+        li   r7, 8
+head:   bnez r4, odd
+        addi r5, r0, 1
+        j    join
+odd:    addi r5, r0, 2
+join:   addi r7, r7, -1
+        bnez r7, head
+        halt
+`
+
+// Insts: 0 tid, 1 li, 2 bnez(head), 3 addi, 4 j, 5 addi(odd),
+// 6 addi(join), 7 bnez, 8 halt.
+
+func TestCrossValidateClean(t *testing.T) {
+	a := mustAnalyze(t, crossSrc)
+	p := &prof.Profile{
+		Schema: prof.SchemaVersion,
+		Sites: []prof.SiteStats{
+			{PC: pcAt(2), Divergences: 3, Remerges: 3},
+		},
+		RemergeEdges: []prof.RemergeEdge{
+			{DivergePC: pcAt(2), RemergePC: pcAt(6), Count: 3},
+		},
+	}
+	if fs := a.CrossValidate(p); len(fs) != 0 {
+		t.Errorf("clean profile produced findings: %v", fs)
+	}
+}
+
+func TestCrossValidateRemergeNonPostdom(t *testing.T) {
+	// A loop-free diamond: a remerge inside one arm shares no cycle with
+	// the branch, so the loop-carried escape hatch cannot excuse it.
+	a := mustAnalyze(t, `
+        tid  r4
+        bnez r4, odd
+        addi r5, r0, 1
+        j    join
+odd:    addi r5, r0, 2
+join:   addi r6, r5, 1
+        halt
+`)
+	// Insts: 0 tid, 1 bnez, 2 addi, 3 j, 4 addi(odd), 5 addi(join),
+	// 6 halt. A remerge at the odd arm (inst 4) does not post-dominate
+	// the branch at inst 1 — the even path never passes through it.
+	p := &prof.Profile{
+		Schema: prof.SchemaVersion,
+		Sites:  []prof.SiteStats{{PC: pcAt(1), Divergences: 1, Remerges: 1}},
+		RemergeEdges: []prof.RemergeEdge{
+			{DivergePC: pcAt(1), RemergePC: pcAt(4), Count: 1},
+		},
+	}
+	fs := a.CrossValidate(p)
+	if !hasCode(fs, CodeRemergeNonPD) {
+		t.Errorf("non-post-dominator remerge not flagged: %v", fs)
+	}
+	if got, _ := maxSeverity(fs); got != SevError {
+		t.Errorf("max severity = %v, want error", got)
+	}
+	// The predicted reconvergence point was never observed either.
+	if !hasCode(fs, CodeReconvMissed) {
+		t.Errorf("missed predicted reconvergence not reported: %v", fs)
+	}
+}
+
+func TestCrossValidateLoopCarried(t *testing.T) {
+	a := mustAnalyze(t, crossSrc)
+	// The loop branch at inst 7 diverging and remerging at the head
+	// (inst 2) is a loop-carried remerge: not a post-dominator, but on a
+	// common cycle with the branch — legal, informational.
+	p := &prof.Profile{
+		Schema: prof.SchemaVersion,
+		Sites:  []prof.SiteStats{{PC: pcAt(7), Divergences: 2, Remerges: 2}},
+		RemergeEdges: []prof.RemergeEdge{
+			{DivergePC: pcAt(7), RemergePC: pcAt(2), Count: 2},
+		},
+	}
+	fs := a.CrossValidate(p)
+	if !hasCode(fs, CodeRemergeLoop) {
+		t.Errorf("loop-carried remerge not classified: %v", fs)
+	}
+	if hasCode(fs, CodeRemergeNonPD) {
+		t.Errorf("loop-carried remerge misflagged as invariant violation: %v", fs)
+	}
+	if got, _ := maxSeverity(fs); got != SevInfo {
+		t.Errorf("max severity = %v, want info", got)
+	}
+}
+
+func TestCrossValidateOutOfTextSites(t *testing.T) {
+	a := mustAnalyze(t, crossSrc)
+	p := &prof.Profile{
+		Schema: prof.SchemaVersion,
+		Sites:  []prof.SiteStats{{PC: 0x40, Divergences: 2}},
+		RemergeEdges: []prof.RemergeEdge{
+			{DivergePC: 0x40, RemergePC: pcAt(6), Count: 1},
+			{DivergePC: pcAt(2), RemergePC: 0x9999, Count: 1},
+		},
+	}
+	fs := a.CrossValidate(p)
+	n := 0
+	for _, f := range fs {
+		if f.Code == CodeProfileSite {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("out-of-text findings = %d, want 3 (edge diverge, edge remerge, site): %v", n, fs)
+	}
+}
+
+func TestCrossValidateDivergeNeverRemerged(t *testing.T) {
+	a := mustAnalyze(t, crossSrc)
+	p := &prof.Profile{
+		Schema: prof.SchemaVersion,
+		Sites:  []prof.SiteStats{{PC: pcAt(2), Divergences: 5}},
+	}
+	fs := a.CrossValidate(p)
+	if !hasCode(fs, CodeDivergeNoJoin) {
+		t.Errorf("never-remerged site not flagged: %v", fs)
+	}
+	if got, _ := maxSeverity(fs); got != SevWarning {
+		t.Errorf("max severity = %v, want warning", got)
+	}
+}

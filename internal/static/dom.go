@@ -1,0 +1,162 @@
+package static
+
+// Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+// iterative algorithm ("A Simple, Fast Dominance Algorithm"): number the
+// nodes in reverse postorder from the root, then iterate
+// idom[b] = intersect over processed predecessors until fixpoint, where
+// intersect walks the two candidates up the current tree by postorder
+// number. The CFG is small (hundreds of blocks), so the O(N^2) worst
+// case is irrelevant and the constant factor beats Lengauer-Tarjan.
+
+// chk computes immediate dominators for a multi-rooted graph of n real
+// nodes by adding a virtual super-root (node n) with an edge to every
+// root. The result maps each real node to its immediate dominator, with
+// -1 both for nodes unreachable from every root and for nodes dominated
+// only by the virtual root (the roots themselves, and merge points of
+// disjoint root regions).
+func chk(n int, roots []int, succs func(int) []int) []int {
+	virtual := n
+	allSuccs := func(u int) []int {
+		if u == virtual {
+			return roots
+		}
+		return succs(u)
+	}
+
+	// Postorder from the virtual root (iterative DFS; fuzzed programs can
+	// produce long fall-through chains, so no recursion).
+	order := make([]int, 0, n+1)
+	state := make([]uint8, n+1) // 0 unvisited, 1 expanding, 2 done
+	type frame struct {
+		u    int
+		next int
+	}
+	stack := []frame{{u: virtual}}
+	state[virtual] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := allSuccs(f.u)
+		if f.next < len(ss) {
+			v := ss[f.next]
+			f.next++
+			if state[v] == 0 {
+				state[v] = 1
+				stack = append(stack, frame{u: v})
+			}
+			continue
+		}
+		state[f.u] = 2
+		order = append(order, f.u)
+		stack = stack[:len(stack)-1]
+	}
+	rpoNum := make([]int, n+1) // higher = earlier in reverse postorder
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+
+	// Predecessors restricted to reachable nodes.
+	preds := make([][]int, n+1)
+	for _, u := range order {
+		for _, v := range allSuccs(u) {
+			if state[v] == 2 {
+				preds[v] = append(preds[v], u)
+			}
+		}
+	}
+
+	idom := make([]int, n+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[virtual] = virtual
+
+	intersect := func(b1, b2 int) int {
+		for b1 != b2 {
+			for rpoNum[b1] < rpoNum[b2] {
+				b1 = idom[b1]
+			}
+			for rpoNum[b2] < rpoNum[b1] {
+				b2 = idom[b2]
+			}
+		}
+		return b1
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == virtual {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if idom[p] == -1 {
+					continue // predecessor not processed yet
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Externalize: drop the virtual root.
+	out := idom[:n]
+	for i := range out {
+		if out[i] == virtual {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// computeDominators fills IDom (forward, rooted at entry + callee
+// entries) and IPDom (reverse, rooted at the exit blocks).
+func (a *Analysis) computeDominators() {
+	n := len(a.Blocks)
+	a.IDom = make([]int, n)
+	a.IPDom = make([]int, n)
+	for i := range a.IDom {
+		a.IDom[i], a.IPDom[i] = -1, -1
+	}
+	if n == 0 || a.Entry < 0 {
+		return
+	}
+
+	a.IDom = chk(n, a.Roots, func(u int) []int { return a.Blocks[u].Succs })
+
+	// Post-dominators: reverse the graph, rooted at every exit block.
+	var exits []int
+	for bi := range a.Blocks {
+		if a.Reachable[bi] && a.Blocks[bi].Term.exits() {
+			exits = append(exits, bi)
+		}
+	}
+	if len(exits) == 0 {
+		return // no path reaches exit (e.g. a pure infinite loop)
+	}
+	a.IPDom = chk(n, exits, func(u int) []int { return a.Blocks[u].Preds })
+}
+
+// computeReconvergence derives the predicted reconvergence PC of every
+// conditional branch: the first instruction of the branch block's
+// immediate post-dominator. This is the static point MMT's FHB/CATCHUP
+// machinery should dynamically re-join diverged thread groups at.
+func (a *Analysis) computeReconvergence() {
+	for bi := range a.Blocks {
+		b := &a.Blocks[bi]
+		if b.Term != TermBranch || !a.Reachable[bi] {
+			continue
+		}
+		if pd := a.IPDom[bi]; pd >= 0 {
+			a.Reconv[b.TermPC] = a.Blocks[pd].Start
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package static
+
+import (
+	"testing"
+
+	"mmt/internal/asm"
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// TestCrossValidateSeedWorkloads is the end-to-end invariant check: run
+// seed workloads on the real core with attribution attached, then join
+// the observed remerge edges against the static post-dominator tree.
+// Every dynamically observed remerge must be structurally explicable:
+// a forward remerge lands at a static post-dominator of its divergence
+// branch, and a loop-carried remerge lands on a common cycle with it
+// (the groups re-met on a later iteration). The FHB/CATCHUP machinery
+// finding a join the CFG says cannot be one would be a simulator bug,
+// not a workload property.
+func TestCrossValidateSeedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	sawEdges := false
+	for _, name := range []string{"libsvm", "equake", "ocean"} {
+		t.Run(name, func(t *testing.T) {
+			app, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("unknown workload %q", name)
+			}
+			p, err := asm.Assemble(app.Name, app.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := Analyze(p)
+
+			// MMT-FXR: shared fetch on, so the FHB/CATCHUP machinery
+			// actually diverges and remerges (Base never merges at all).
+			spec := sim.TaskSpec{App: name, Preset: sim.PresetMMTFXR, Threads: 2,
+				Config: &sim.ConfigOverride{MaxInsts: 20000}, Attribution: true}
+			task, err := spec.Task()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := task.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile := out.Attribution
+			if profile == nil {
+				t.Fatal("attributed run produced no profile")
+			}
+			if len(profile.RemergeEdges) > 0 {
+				sawEdges = true
+			}
+
+			// The invariant, asserted directly on the raw edges...
+			for _, e := range profile.RemergeEdges {
+				db, rb := a.BlockAt(e.DivergePC), a.BlockAt(e.RemergePC)
+				loopCarried := a.canReach(rb, db) && a.canReach(db, rb)
+				if !a.PostDominates(e.RemergePC, e.DivergePC) && !loopCarried {
+					t.Errorf("remerge at %#x (%d times) is neither a post-dominator of nor loop-carried from the divergence at %#x",
+						e.RemergePC, e.Count, e.DivergePC)
+				}
+			}
+			// ...and through the joined verdict: no error findings.
+			for _, f := range a.CrossValidate(profile) {
+				if f.Sev == SevError {
+					t.Errorf("cross-validation: %s", f)
+				}
+			}
+		})
+	}
+	if !sawEdges {
+		t.Error("no workload produced remerge edges; the invariant was never exercised")
+	}
+}

@@ -1,0 +1,103 @@
+package static
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+// decodeFuzzProgram turns arbitrary bytes into a program: 12 bytes per
+// instruction (opcode, three register fields, 8-byte immediate), with the
+// leading byte also perturbing the entry PC so bad-entry handling gets
+// fuzzed too. Register and opcode fields are taken as-is — out-of-range
+// values are exactly what the analyzer must survive.
+func decodeFuzzProgram(data []byte) *prog.Program {
+	const perInst = 12
+	// Cap the stream: loop-body discovery is quadratic in back edges, and
+	// a fuzzer-crafted all-backward-branch program at the full site cap
+	// burns seconds per exec without exercising anything new.
+	n := len(data) / perInst
+	if n > 768 {
+		n = 768
+	}
+	insts := make([]isa.Inst, n)
+	for i := 0; i < n; i++ {
+		d := data[i*perInst:]
+		insts[i] = isa.Inst{
+			Op:  isa.Op(d[0]),
+			Rd:  d[1] % isa.NumRegs,
+			Rs1: d[2] % isa.NumRegs,
+			Rs2: d[3] % isa.NumRegs,
+			Imm: int64(binary.LittleEndian.Uint64(d[4:12])),
+		}
+	}
+	entry := uint64(prog.CodeBase)
+	if len(data) > 0 {
+		// Sometimes misaligned, sometimes past the end: both must only
+		// produce findings, never panics.
+		entry += uint64(data[0])
+	}
+	return &prog.Program{Name: "fuzz", Entry: entry, Base: prog.CodeBase, Insts: insts}
+}
+
+// FuzzAnalyze: the analyzer must terminate without panicking on arbitrary
+// instruction streams, and its structural outputs must stay internally
+// consistent.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	// A tiny branchy program: beq forward then halt.
+	seed := make([]byte, 24)
+	seed[0] = byte(isa.OpBeq)
+	binary.LittleEndian.PutUint64(seed[4:], uint64(prog.CodeBase)+4)
+	seed[12] = byte(isa.OpHalt)
+	f.Add(seed)
+	// An invalid opcode mid-stream.
+	bad := make([]byte, 36)
+	bad[0] = byte(isa.OpAddi)
+	bad[12] = 0xff
+	bad[24] = byte(isa.OpHalt)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeFuzzProgram(data)
+		a := Analyze(p)
+
+		// Blocks partition the instruction stream.
+		next := 0
+		for i, b := range a.Blocks {
+			if b.First != next || b.N < 1 {
+				t.Fatalf("block %d = %+v does not continue partition at inst %d", i, b, next)
+			}
+			next = b.First + b.N
+		}
+		if next != len(p.Insts) {
+			t.Fatalf("blocks cover %d of %d instructions", next, len(p.Insts))
+		}
+		// Dominator trees stay in range and acyclic-by-construction
+		// (walking up must terminate within n steps).
+		for i := range a.Blocks {
+			for name, tree := range map[string][]int{"idom": a.IDom, "ipdom": a.IPDom} {
+				steps := 0
+				for b := i; b >= 0; b = tree[b] {
+					if tree[b] >= len(a.Blocks) {
+						t.Fatalf("%s[%d] = %d out of range", name, b, tree[b])
+					}
+					if steps++; steps > len(a.Blocks)+1 {
+						t.Fatalf("%s chain from %d does not terminate", name, i)
+					}
+				}
+			}
+		}
+		// Reconvergence PCs must land inside the text segment.
+		for br, rc := range a.Reconv {
+			if a.BlockAt(br) < 0 || a.BlockAt(rc) < 0 {
+				t.Fatalf("reconv edge %#x->%#x outside the program", br, rc)
+			}
+		}
+		// The report renderer must also survive anything Analyze produced.
+		a.BuildReport()
+	})
+}

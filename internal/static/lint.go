@@ -1,0 +1,199 @@
+package static
+
+import (
+	"math/bits"
+
+	"mmt/internal/isa"
+)
+
+// Register-initialization dataflow: a forward must-write analysis over
+// the reachable CFG. IN[b] is the set of registers written on *every*
+// path reaching b; a block's upward-exposed read of a register outside
+// that set can observe the loader's implicit zero — legal on this
+// machine, but almost always a program bug (SPMD kernels derive all
+// state from tid, sp and memory), so it is reported as a warning.
+//
+// Registers defined before the first instruction: r0 (hard-wired) and sp
+// (set by the loader). Call edges propagate the call site's OUT plus the
+// linked return address into the callee, so intraprocedural reads of ra
+// after a call verify cleanly.
+
+type regMask uint32
+
+const initialRegs = regMask(1<<isa.RegZero | 1<<isa.RegSP)
+
+// instReads returns the source registers i reads; instWrites the
+// destination it defines, if any.
+func instReads(i isa.Inst) regMask {
+	var m regMask
+	srcs, n := i.Sources()
+	for k := 0; k < n; k++ {
+		m |= 1 << srcs[k]
+	}
+	return m
+}
+
+func instWrites(i isa.Inst) regMask {
+	if d, ok := i.Dest(); ok {
+		return 1 << d
+	}
+	return 0
+}
+
+// checkDataflow reports registers read before any write reaches them on
+// some path from the entry.
+func (a *Analysis) checkDataflow() {
+	n := len(a.Blocks)
+	if n == 0 || a.Entry < 0 {
+		return
+	}
+	p := a.Prog
+
+	// Per-block write summaries.
+	written := make([]regMask, n)
+	for bi := range a.Blocks {
+		b := &a.Blocks[bi]
+		for k := 0; k < b.N; k++ {
+			in := p.Insts[b.First+k]
+			if !in.Op.Valid() {
+				break
+			}
+			written[bi] |= instWrites(in)
+		}
+	}
+
+	// Must-write fixpoint. IN starts full (top) everywhere but the
+	// roots; edges are CFG successors plus call edges (the callee sees
+	// the call site's OUT plus the link register).
+	const top = ^regMask(0)
+	in := make([]regMask, n)
+	for i := range in {
+		in[i] = top
+	}
+	in[a.Entry] = initialRegs
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < n; bi++ {
+			if !a.Reachable[bi] {
+				continue
+			}
+			b := &a.Blocks[bi]
+			out := in[bi] | written[bi]
+			if in[bi] == top {
+				out = written[bi] // not yet reached by a real path
+			}
+			flow := func(to int, extra regMask) {
+				if to < 0 {
+					return
+				}
+				nv := in[to] & (out | extra)
+				if in[to] == top {
+					nv = out | extra
+				}
+				if nv != in[to] {
+					in[to] = nv
+					changed = true
+				}
+			}
+			for _, s := range b.Succs {
+				flow(s, 0)
+			}
+			if b.Callee >= 0 {
+				// jal wrote the link register before entry.
+				flow(b.Callee, instWrites(p.Insts[b.First+b.N-1]))
+			}
+		}
+	}
+
+	// Report: walk each reachable block, tracking intra-block writes, and
+	// flag the first offending read of each register per block.
+	for bi := range a.Blocks {
+		if !a.Reachable[bi] || in[bi] == top {
+			continue
+		}
+		b := &a.Blocks[bi]
+		have := in[bi] | initialRegs
+		for k := 0; k < b.N; k++ {
+			inst := p.Insts[b.First+k]
+			if !inst.Op.Valid() {
+				break
+			}
+			if miss := instReads(inst) &^ have; miss != 0 {
+				for miss != 0 {
+					r := bits.TrailingZeros32(uint32(miss))
+					miss &^= 1 << r
+					a.addFinding(SevWarning, CodeReadBeforeWr, a.pcOf(b.First+k),
+						"r%d may be read before any write reaches it (%s)", r, inst)
+				}
+				// One report per register per block: treat it as defined
+				// from here on.
+				have |= instReads(inst)
+			}
+			have |= instWrites(inst)
+		}
+	}
+}
+
+// checkStores runs a per-block constant propagation (r0 plus values
+// built from lui/li/addi chains) and flags stores whose statically known
+// address lands inside the text segment — self-modifying code the
+// simulator's fetch path would never observe.
+func (a *Analysis) checkStores() {
+	p := a.Prog
+	textLo := p.Base
+	textHi := p.Base + uint64(len(p.Insts))*isa.InstBytes
+	for bi := range a.Blocks {
+		if !a.Reachable[bi] {
+			continue
+		}
+		b := &a.Blocks[bi]
+		var known regMask = 1 << isa.RegZero
+		var vals [isa.NumRegs]uint64
+		get := func(r uint8) (uint64, bool) { return vals[r], known&(1<<r) != 0 }
+		set := func(r uint8, v uint64, ok bool) {
+			if r == isa.RegZero {
+				return
+			}
+			if ok {
+				known |= 1 << r
+				vals[r] = v
+			} else {
+				known &^= 1 << r
+			}
+		}
+		for k := 0; k < b.N; k++ {
+			in := p.Insts[b.First+k]
+			if !in.Op.Valid() {
+				break
+			}
+			switch in.Op {
+			case isa.OpSt:
+				if base, ok := get(in.Rs1); ok {
+					if addr := base + uint64(in.Imm); addr >= textLo && addr < textHi {
+						a.addFinding(SevError, CodeStoreToText, a.pcOf(b.First+k),
+							"store to %#x overwrites program text [%#x,%#x)", addr, textLo, textHi)
+					}
+				}
+			case isa.OpAddi:
+				v, ok := get(in.Rs1)
+				set(in.Rd, v+uint64(in.Imm), ok)
+			case isa.OpOri:
+				v, ok := get(in.Rs1)
+				set(in.Rd, v|uint64(in.Imm), ok)
+			case isa.OpLui:
+				set(in.Rd, uint64(in.Imm)<<32, true)
+			case isa.OpAdd:
+				v1, ok1 := get(in.Rs1)
+				v2, ok2 := get(in.Rs2)
+				set(in.Rd, v1+v2, ok1 && ok2)
+			case isa.OpSlli:
+				v, ok := get(in.Rs1)
+				set(in.Rd, v<<(uint64(in.Imm)&63), ok)
+			default:
+				if d, ok := in.Dest(); ok {
+					set(d, 0, false)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package static
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mmt/internal/isa"
+)
+
+// Report is the static redundancy summary of one program: the structural
+// facts that bound how much MMT's dynamic machinery can possibly share.
+// Straight-line regions are the instruction runs every thread executes
+// identically once reconverged; loops bound how often those regions
+// repeat; the reconvergence table is the per-branch join point CATCHUP
+// should steer diverged groups back to.
+type Report struct {
+	// Program shape.
+	Insts  int `json:"insts"`
+	Blocks int `json:"blocks"`
+	// Reachability.
+	ReachableBlocks   int `json:"reachable_blocks"`
+	UnreachableBlocks int `json:"unreachable_blocks"`
+	UnreachableInsts  int `json:"unreachable_insts"`
+	// Branch structure.
+	Branches      int `json:"branches"`
+	IndirectSites int `json:"indirect_sites"`
+	// Straight-line shareable regions: maximal runs of consecutive
+	// single-entry single-exit fall-through blocks. Every thread that
+	// enters such a region executes the same instructions in the same
+	// order, so MMT can share all of them.
+	Regions       []Region `json:"regions"`
+	ShareableInst int      `json:"shareable_insts"`
+	// Reconvergence table, sorted by branch PC.
+	Reconv []ReconvEntry `json:"reconv"`
+	// Loops, sorted by header PC.
+	Loops []Loop `json:"loops"`
+	// Finding tallies.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// Region is one maximal straight-line shareable region.
+type Region struct {
+	StartPC uint64 `json:"start_pc"`
+	EndPC   uint64 `json:"end_pc"` // exclusive
+	Insts   int    `json:"insts"`
+	Blocks  int    `json:"blocks"`
+}
+
+// ReconvEntry is one row of the reconvergence table.
+type ReconvEntry struct {
+	BranchPC uint64 `json:"branch_pc"`
+	ReconvPC uint64 `json:"reconv_pc"`
+	// Span is the instruction distance from the branch to the
+	// reconvergence point (how far apart the diverged paths can get
+	// before the structure forces them back together). Negative spans
+	// mean the join point is behind the branch (loop exits).
+	Span int64 `json:"span"`
+}
+
+// BuildReport condenses the analysis into its redundancy summary.
+func (a *Analysis) BuildReport() *Report {
+	r := &Report{Insts: len(a.Prog.Insts), Blocks: len(a.Blocks), Loops: a.Loops}
+	for bi := range a.Blocks {
+		b := &a.Blocks[bi]
+		if a.Reachable[bi] {
+			r.ReachableBlocks++
+		} else {
+			r.UnreachableBlocks++
+			r.UnreachableInsts += b.N
+			continue
+		}
+		switch b.Term {
+		case TermBranch:
+			r.Branches++
+		case TermIndirect:
+			r.IndirectSites++
+		}
+	}
+
+	// Straight-line regions: chase chains of blocks where each link is a
+	// fall-through into a block with exactly one predecessor.
+	inRegion := make([]bool, len(a.Blocks))
+	for bi := range a.Blocks {
+		if inRegion[bi] || !a.Reachable[bi] {
+			continue
+		}
+		// Only start a region at a block that is not the straight-line
+		// continuation of another block.
+		if len(a.Blocks[bi].Preds) == 1 {
+			p := a.Blocks[bi].Preds[0]
+			if a.Reachable[p] && a.Blocks[p].Term == TermFall {
+				continue
+			}
+		}
+		end, insts, blocks := bi, 0, 0
+		for {
+			inRegion[end] = true
+			insts += a.Blocks[end].N
+			blocks++
+			if a.Blocks[end].Term != TermFall {
+				break
+			}
+			next := end + 1
+			if next >= len(a.Blocks) || len(a.Blocks[next].Preds) != 1 {
+				break
+			}
+			end = next
+		}
+		r.Regions = append(r.Regions, Region{
+			StartPC: a.Blocks[bi].Start,
+			EndPC:   a.Blocks[end].End,
+			Insts:   insts,
+			Blocks:  blocks,
+		})
+		r.ShareableInst += insts
+	}
+	sort.Slice(r.Regions, func(i, j int) bool { return r.Regions[i].StartPC < r.Regions[j].StartPC })
+
+	for pc, rc := range a.Reconv { // mmtvet:ok — sorted immediately below
+		r.Reconv = append(r.Reconv, ReconvEntry{
+			BranchPC: pc,
+			ReconvPC: rc,
+			Span:     (int64(rc) - int64(pc)) / isa.InstBytes,
+		})
+	}
+	sort.Slice(r.Reconv, func(i, j int) bool { return r.Reconv[i].BranchPC < r.Reconv[j].BranchPC })
+
+	r.Errors, r.Warnings, r.Infos = CountBySeverity(a.Findings)
+	return r
+}
+
+// WriteText renders the report for terminals.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "program: %d instructions, %d blocks (%d reachable)\n",
+		r.Insts, r.Blocks, r.ReachableBlocks)
+	if r.UnreachableBlocks > 0 {
+		fmt.Fprintf(w, "  unreachable: %d blocks, %d instructions\n",
+			r.UnreachableBlocks, r.UnreachableInsts)
+	}
+	fmt.Fprintf(w, "branches: %d conditional, %d indirect escape sites\n",
+		r.Branches, r.IndirectSites)
+	pct := 0.0
+	if r.Insts > 0 {
+		pct = 100 * float64(r.ShareableInst) / float64(r.Insts)
+	}
+	fmt.Fprintf(w, "straight-line shareable: %d instructions (%.1f%%) in %d regions\n",
+		r.ShareableInst, pct, len(r.Regions))
+	for _, g := range r.Regions {
+		fmt.Fprintf(w, "  [%#06x,%#06x) %3d insts / %d blocks\n", g.StartPC, g.EndPC, g.Insts, g.Blocks)
+	}
+	if len(r.Reconv) > 0 {
+		fmt.Fprintf(w, "reconvergence (branch -> predicted join):\n")
+		for _, e := range r.Reconv {
+			fmt.Fprintf(w, "  %#06x -> %#06x (span %+d)\n", e.BranchPC, e.ReconvPC, e.Span)
+		}
+	}
+	if len(r.Loops) > 0 {
+		fmt.Fprintf(w, "loops:\n")
+		for _, l := range r.Loops {
+			fmt.Fprintf(w, "  head %#06x back %#06x: %d blocks / %d insts, depth %d\n",
+				l.HeadPC, l.BackPC, l.Blocks, l.Insts, l.Depth)
+		}
+	}
+	fmt.Fprintf(w, "findings: %d errors, %d warnings, %d infos\n", r.Errors, r.Warnings, r.Infos)
+}

@@ -82,9 +82,13 @@ func (tc *TraceCache) Insert(startPC uint64, insts, branches int) {
 }
 
 func (tc *TraceCache) evictLRU() {
+	// lru stamps are unique (the clock ticks on every touch), so the
+	// minimum is well defined; the startPC tie-break keeps the choice
+	// deterministic even if that ever changes.
 	var victim *trace
-	for _, t := range tc.byStart {
-		if victim == nil || t.lru < victim.lru {
+	for _, t := range tc.byStart { // mmtvet:ok — unique-minimum selection
+		if victim == nil || t.lru < victim.lru ||
+			(t.lru == victim.lru && t.startPC < victim.startPC) {
 			victim = t
 		}
 	}

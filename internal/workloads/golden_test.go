@@ -7,23 +7,26 @@ import "testing"
 // against the paper's per-application redundancy profiles (DESIGN.md §2);
 // an unintended change to a kernel or its inputs shifts these counts and
 // fails here. Update the table deliberately when retuning a kernel.
+// Counts retuned when the kernels gained explicit accumulator
+// initialization in their prologues (mmtcheck's read-before-write lint):
+// each kernel's counts grew by exactly its added prologue instructions.
 var goldenDynCounts = map[string][2]uint64{
-	"libsvm":       {8126, 8127},
-	"ammp":         {41783, 41765},
-	"twolf":        {33130, 33132},
-	"vortex":       {84830, 85710},
-	"vpr":          {27319, 27297},
-	"equake":       {24133, 25093},
-	"mcf":          {22543, 22515},
-	"ocean":        {51137, 51135},
+	"libsvm":       {8127, 8128},
+	"ammp":         {41785, 41767},
+	"twolf":        {33133, 33135},
+	"vortex":       {84833, 85713},
+	"vpr":          {27322, 27300},
+	"equake":       {24135, 25095},
+	"mcf":          {22546, 22518},
+	"ocean":        {51139, 51137},
 	"lu":           {19867, 19867},
 	"fft":          {14465, 14466},
-	"water-ns":     {156289, 156289},
-	"water-sp":     {23622, 23342},
-	"swaptions":    {12784, 12784},
-	"fluidanimate": {10899, 10899},
-	"blackscholes": {9127, 9127},
-	"canneal":      {25967, 25983},
+	"water-ns":     {156292, 156292},
+	"water-sp":     {23624, 23344},
+	"swaptions":    {12787, 12787},
+	"fluidanimate": {10901, 10901},
+	"blackscholes": {9129, 9129},
+	"canneal":      {25969, 25985},
 }
 
 func TestGoldenDynamicCounts(t *testing.T) {

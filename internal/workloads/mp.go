@@ -39,6 +39,8 @@ func init() {
         add   r8, r8, r7         ; partner channel
         li    r20, ROUNDS
         li    r21, 0             ; round number
+        li    r22, 0             ; payload sum
+        li    r23, 0             ; round sum
         mul   r9, r4, r4         ; rank-specific payload (round-invariant,
         addi  r9, r9, 5          ; so reads are skew-tolerant)
 round:  addi  r21, r21, 1
@@ -79,6 +81,8 @@ wait:   ld    r12, 0(r8)
         li    r9, grid
         li    r20, ITERS
         li    r21, 0
+        li    r22, 0
+        fcvt  r22, r22           ; boundary fold accumulator
 iter:   addi  r21, r21, 1
         ld    r10, 0(r9)         ; my boundary value
         st    r10, 8(r6)
@@ -133,6 +137,7 @@ grid:   .space CELLS*8+8
         add   r6, r6, r7         ; my slot
         li    r20, ITERS
         li    r21, 0
+        li    r23, 0             ; all-reduce checksum
 iter:   addi  r21, r21, 1
         mul   r10, r21, r4       ; partial value
         addi  r10, r10, 3

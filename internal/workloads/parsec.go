@@ -22,6 +22,9 @@ func init() {
         tid   r4
         li    r20, TRIALS
         li    r27, TERMS
+        li    r22, 0             ; trial-mix accumulator
+        li    r23, 0
+        fcvt  r23, r23           ; mixed path value
 trial:  li    r6, 0
         li    r7, curve
         li    r21, 0
@@ -76,6 +79,8 @@ curve:  .space TERMS*8
         li    r7, dens
         add   r7, r7, r6
         li    r20, FRAMES
+        li    r21, 0
+        fcvt  r21, r21           ; density accumulator
 frame:  li    r8, 0
         li    r9, parts
 ploop:  ld    r10, 0(r9)         ; neighbor pos (shared)
@@ -129,6 +134,8 @@ dens:   .space 4*PARTS*8
         li    r7, opts
         add   r7, r7, r6
         li    r20, ROUNDS
+        li    r21, 0
+        fcvt  r21, r21           ; price accumulator
 round:  li    r8, 0
         mv    r9, r7
 oloop:  ld    r10, 0(r9)         ; spot (private)
@@ -180,6 +187,8 @@ opts:   .space 4*OPTS*24
         li    r27, moved
         add   r27, r27, r26      ; private accepted-move table
         li    r20, SWAPS
+        li    r21, 0             ; accepted-cost accumulator
+        li    r22, 0             ; rejected-cost accumulator
 swap:   mul   r5, r5, r6
         add   r5, r5, r7
         srli  r8, r5, 31

@@ -38,6 +38,8 @@ func init() {
         li    r20, STEPS
         li    r24, cutoff
         ld    r24, 0(r24)        ; cutoff distance^2
+        li    r21, 0             ; potential accumulator
+        li    r23, 0             ; force accumulator
 step:   li    r5, 0              ; atom index
         li    r6, pos
 inner:  ld    r7, 0(r6)          ; x (identical data)
@@ -157,6 +159,8 @@ pert:   .space NPERT*16
         li    r27, NNZ
         li    r4, relax
         ld    r25, 0(r4)         ; per-instance relaxation count
+        li    r14, 0             ; scale registers start at zero until the
+        li    r15, 0             ; first divergent row recomputes them
 blocks: li    r5, 0              ; row within block
 rows:   li    r6, 0              ; nz index
         li    r7, mat
@@ -227,6 +231,9 @@ vec:    .space NNZ*8
         .equ  PASSES, 14
         li    r26, ARCS
         li    r20, PASSES
+        li    r22, 0             ; reduced-cost sum
+        li    r24, 0             ; scaled-cost sum
+        li    r28, 0             ; pivot total
 pass:   li    r5, 0
         li    r6, cost
         li    r21, 0             ; pivots this pass
@@ -316,6 +323,9 @@ pcost:  .space PARCS*16
         li    r6, 6364136223846793005
         li    r7, 1442695040888963407
         li    r20, MOVES
+        li    r21, 0             ; applied-move accumulator
+        li    r22, 0             ; move checksum
+        li    r23, 0             ; reject count
 move:   mul   r5, r5, r6         ; LCG step (differs per instance)
         add   r5, r5, r7
         srli  r8, r5, 33
@@ -369,6 +379,9 @@ seed:   .word 12345
         li    r7, 1442695040888963407
         li    r20, MOVES
         li    r24, table
+        li    r21, 0             ; congestion-cost accumulator
+        li    r22, 0             ; slot-index balance
+        li    r23, 0             ; move count
 move:   mul   r5, r5, r6
         add   r5, r5, r7
         srli  r8, r5, 30
@@ -423,6 +436,9 @@ table:  .space TSIZE*8
         ld    r25, 0(r4)         ; per-instance key stride
         li    r20, LOOKUPS
         li    r24, nodes
+        li    r21, 0             ; bookkeeping accumulator
+        li    r22, 0             ; key checksum
+        li    r23, 0             ; lookups completed
 look:   mv    r6, r24            ; node = head
         li    r7, 0              ; depth
         mul   r8, r20, r25
@@ -478,6 +494,7 @@ nodes:  .space CHAIN*16
         li    r5, 0              ; sv index
         li    r21, 0
         fcvt  r21, r21           ; decision value
+        li    r22, 0             ; clipped-margin accumulator
 svloop: li    r6, 0
         li    r7, model
         li    r8, query

@@ -186,6 +186,8 @@ signal:  .space 4*PTS*8
         li    r7, grid
         add   r7, r7, r6
         li    r20, ITERS
+        li    r22, 0             ; converged-sweep count
+        li    r23, 0             ; cell-count bookkeeping
 iter:   li    r8, 1
         mv    r9, r7
         li    r21, 0
@@ -242,6 +244,9 @@ grid:   .space 4*SLAB*8
         li    r7, forces
         add   r7, r7, r6         ; private force slab
         li    r20, TSTEPS
+        li    r21, 0             ; force accumulator
+        li    r26, 0             ; virial checksum
+        li    r28, 0             ; virial sum
 tstep:
 ; boundary-molecule bookkeeping is assigned by thread parity: a short
 ; deterministic divergence whose results are value-identical, recovered
@@ -315,6 +320,8 @@ forces: .space 4*MOLS*8
         li    r7, counts
         add   r7, r7, r6         ; private cell-occupancy table
         li    r26, TSTEPS
+        li    r22, 0             ; bookkeeping accumulator
+        li    r23, 0             ; cell-index checksum
 tstep:  li    r8, 0              ; cell index
         li    r28, acc
         add   r28, r28, r6       ; private per-cell results

@@ -193,7 +193,7 @@ func fillDoubles(mem *prog.Memory, base uint64, n int, seed uint64) {
 func (a App) Override(consts map[string]int64) App {
 	src := a.Source
 	var missing []string
-	for name, val := range consts {
+	for name, val := range consts { // mmtvet:ok — distinct lines edited; missing list sorted below
 		idx := findEqu(src, name)
 		if idx < 0 {
 			missing = append(missing, name)
