@@ -1,0 +1,34 @@
+// Command mmtcached is the content-addressed remote result cache for a
+// simulation fleet. Every mmtserved node's persistent cache tiers into it
+// (checked on local miss, written through on store), so any node — and a
+// cold-restarted one in particular — serves previously simulated outcomes
+// without re-simulating. Entries are the disk-cache format verbatim and
+// are re-validated on PUT, so a misbehaving client cannot poison the
+// store.
+//
+// The API (see internal/cluster):
+//
+//	GET  /v1/cache/{key}  fetch an entry (200 raw blob | 404)
+//	PUT  /v1/cache/{key}  store an entry (204 | 400 on invalid blobs)
+//	GET  /v1/healthz      liveness
+//	GET  /v1/stats        hits/misses/stores, entry count, bytes, evictions
+//
+// Usage:
+//
+//	mmtcached -dir /var/cache/mmt
+//	mmtcached -dir /var/cache/mmt -max-bytes 1073741824 -addr :8380
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunCached(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtcached:", err)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmt/internal/cluster"
 	"mmt/internal/obs"
 	"mmt/internal/prof"
 	"mmt/internal/serve"
@@ -34,11 +35,12 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 	fs := flag.NewFlagSet("mmtload", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		server = fs.String("server", "http://127.0.0.1:8377", "mmtserved base URL")
-		n      = fs.Int("n", 32, "total jobs to submit")
-		conc   = fs.Int("c", 8, "concurrent in-flight jobs")
-		dup    = fs.Float64("dup", 0.5, "fraction of jobs that duplicate an earlier spec [0,1)")
-		seed   = fs.Int64("seed", 1, "workload generator seed (same seed = same job stream)")
+		server  = fs.String("server", "http://127.0.0.1:8377", "mmtserved (or, with -cluster, mmtrouter) base URL")
+		fleetly = fs.Bool("cluster", false, "treat -server as an mmtrouter: report per-node throughput and latency plus the fleet dedup ratio")
+		n       = fs.Int("n", 32, "total jobs to submit")
+		conc    = fs.Int("c", 8, "concurrent in-flight jobs")
+		dup     = fs.Float64("dup", 0.5, "fraction of jobs that duplicate an earlier spec [0,1)")
+		seed    = fs.Int64("seed", 1, "workload generator seed (same seed = same job stream)")
 
 		app      = fs.String("app", "libsvm", "workload to submit")
 		preset   = fs.String("preset", "", "design point (empty = server default, MMT-FXR)")
@@ -115,6 +117,12 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 	before, err := c.Stats(ctx)
 	if err != nil {
 		return fmt.Errorf("reaching %s: %w", *server, err)
+	}
+	var clusterBefore cluster.ClusterStats
+	if *fleetly {
+		if clusterBefore, err = cluster.FetchClusterStats(ctx, nil, *server); err != nil {
+			return fmt.Errorf("-cluster: %s is not an mmtrouter: %w", *server, err)
+		}
 	}
 	fmt.Fprintf(stdout, "mmtload: %d jobs (%d unique specs), concurrency %d, dup ratio %.2f, seed %d -> %s\n",
 		*n, len(unique), *conc, *dup, *seed, *server)
@@ -235,6 +243,13 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 			after.Deduped-before.Deduped, after.Rejected-before.Rejected,
 			after.Expired-before.Expired)
 	}
+	if *fleetly {
+		if clusterAfter, err := cluster.FetchClusterStats(context.Background(), nil, *server); err == nil {
+			printClusterReport(stdout, clusterBefore, clusterAfter, wall)
+		} else {
+			fmt.Fprintf(stdout, "cluster: stats fetch failed: %v\n", err)
+		}
+	}
 	if merged != nil {
 		total := merged.Cycles
 		fmt.Fprintf(stdout, "attribution: %d cycles merged across jobs — base %.1f%% fetch-stall %.1f%% catchup %.1f%% rollback %.1f%% drain %.1f%%\n",
@@ -263,6 +278,37 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		return recErr
 	}
 	return ctx.Err()
+}
+
+// printClusterReport diffs two /v1/cluster snapshots around a run and
+// prints the fleet dedup ratio plus a per-node throughput/latency table.
+// Counters are deltas over the run; latency quantiles are the nodes' own
+// cumulative estimates (quantiles do not diff), so they reflect each
+// node's whole uptime.
+func printClusterReport(stdout io.Writer, before, after cluster.ClusterStats, wall time.Duration) {
+	completed := after.Fleet.Completed - before.Fleet.Completed
+	simulated := after.Fleet.Simulated - before.Fleet.Simulated
+	ratio := 0.0
+	if completed > 0 {
+		ratio = float64(completed-simulated) / float64(completed)
+	}
+	fmt.Fprintf(stdout, "cluster: fleet dedup ratio %.2f (%d completed, %d simulated) — routed=%d rerouted=%d stolen=%d errors=%d\n",
+		ratio, completed, simulated,
+		after.Routed-before.Routed, after.Rerouted-before.Rerouted,
+		after.Stolen-before.Stolen, after.Errors-before.Errors)
+	prev := map[string]cluster.NodeStatus{}
+	for _, n := range before.Nodes {
+		prev[n.Name] = n
+	}
+	fmt.Fprintf(stdout, "%-12s %-9s %9s %10s %10s %9s %10s %10s\n",
+		"node", "state", "routed", "completed", "simulated", "jobs/s", "job_p50", "job_p99")
+	for _, n := range after.Nodes {
+		p := prev[n.Name]
+		done := n.Stats.Completed - p.Stats.Completed
+		fmt.Fprintf(stdout, "%-12s %-9s %9d %10d %10d %9.1f %9.0fms %9.0fms\n",
+			n.Name, n.State, n.Routed-p.Routed, done, n.Stats.Simulated-p.Stats.Simulated,
+			float64(done)/wall.Seconds(), n.Stats.JobP50MS, n.Stats.JobP99MS)
+	}
 }
 
 func loadPct(part, total uint64) float64 {

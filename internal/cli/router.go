@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mmt/internal/cluster"
+	"mmt/internal/obs"
+)
+
+// RunRouter is the mmtrouter command: the fleet coordinator that
+// consistent-hashes job submissions onto a ring of mmtserved backends so
+// per-node single-flight dedup becomes fleet-wide dedup. It serves the
+// same /v1 job API as mmtserved until SIGINT/SIGTERM, then exits.
+func RunRouter(args []string, stdout io.Writer) error {
+	return runRouter(args, stdout, os.Stderr, nil)
+}
+
+// runRouter is RunRouter with the progress stream exposed and an optional
+// ready callback receiving the bound address (both for tests).
+func runRouter(args []string, stdout, progress io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("mmtrouter", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8378", "listen address for the fleet job API")
+		backends = fs.String("backends", "", "comma-separated mmtserved base URLs, each with an optional *weight suffix (e.g. http://10.0.0.1:8377*2,http://10.0.0.2:8377)")
+
+		probeEvery   = fs.Duration("probe-every", time.Second, "health/queue-depth probe cadence")
+		probeTimeout = fs.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+		stealAt      = fs.Int("steal-threshold", 8, "queue depth at which an owner counts as hot and idle nodes pull its new keys")
+		stealMax     = fs.Int("steal-max", 1, "maximum queue depth of a steal target")
+		placementTTL = fs.Duration("placement-ttl", 5*time.Minute, "how long a key stays pinned to the node that received it")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics, expvar and pprof on this address")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		printVersion(stdout, "mmtrouter")
+		return nil
+	}
+	if *backends == "" {
+		return errors.New("-backends is required (comma-separated mmtserved URLs)")
+	}
+	nodes, err := cluster.ParseNodes(*backends)
+	if err != nil {
+		return err
+	}
+
+	opts := cluster.RouterOptions{
+		Nodes:          nodes,
+		ProbeEvery:     *probeEvery,
+		ProbeTimeout:   *probeTimeout,
+		StealThreshold: *stealAt,
+		StealMax:       *stealMax,
+		PlacementTTL:   *placementTTL,
+	}
+	if *metricsAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		msrv, err := serveMetrics(*metricsAddr, opts.Metrics, progress)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+	}
+	rt, err := cluster.NewRouter(opts)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt}
+	if progress != nil {
+		fmt.Fprintf(progress, "mmtrouter %s routing on http://%s/v1 across %d backends\n",
+			Version(), ln.Addr(), len(nodes))
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigc:
+		if progress != nil {
+			fmt.Fprintf(progress, "mmtrouter: received %s, shutting down\n", sig)
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(sctx) //nolint:errcheck // in-flight proxies get a bounded wait
+		scancel()
+		if progress != nil {
+			fmt.Fprintln(progress, "mmtrouter: drained, bye")
+		}
+		return nil
+	}
+}

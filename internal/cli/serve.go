@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"mmt/internal/cluster"
 	"mmt/internal/obs"
 	"mmt/internal/runner"
 	"mmt/internal/serve"
@@ -36,6 +37,8 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		addr     = fs.String("addr", "127.0.0.1:8377", "listen address for the job API")
 		jobs     = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		cacheDir = fs.String("cache-dir", "", "persistent result cache directory (empty = disabled)")
+		cacheMax = fs.Int64("cache-max-bytes", 0, "persistent cache byte budget; least-recently-used entries are evicted beyond it (0 = unlimited)")
+		remote   = fs.String("remote-cache", "", "mmtcached base URL the persistent cache tiers into, e.g. http://127.0.0.1:8380 (empty = disabled)")
 		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
 
@@ -76,15 +79,19 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 
 	opts := serve.Options{
 		Runner: runner.Options{
-			Workers:  *jobs,
-			CacheDir: *cacheDir,
-			Timeout:  *timeout,
-			Retries:  *retries,
-			Progress: progress,
+			Workers:       *jobs,
+			CacheDir:      *cacheDir,
+			CacheMaxBytes: *cacheMax,
+			Timeout:       *timeout,
+			Retries:       *retries,
+			Progress:      progress,
 		},
 		MaxQueue:        *queue,
 		DefaultDeadline: *deadline,
 		Precheck:        *precheck,
+	}
+	if *remote != "" {
+		opts.Runner.RemoteCache = cluster.NewCacheClient(*remote, nil)
 	}
 	if *metricsAddr != "" {
 		opts.Metrics = obs.NewRegistry()

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"mmt/internal/obs"
+	"mmt/internal/runner"
+)
+
+// maxEntryBytes bounds one cache entry on the wire. Outcomes are small
+// JSON documents (statistics plus an optional attribution profile); 16MB
+// leaves an order of magnitude of headroom.
+const maxEntryBytes = 16 << 20
+
+// CacheServerOptions configures a CacheServer.
+type CacheServerOptions struct {
+	// Dir is the entry directory. Required.
+	Dir string
+	// MaxBytes caps the store's disk footprint with LRU eviction
+	// (0 = unlimited).
+	MaxBytes int64
+	// Metrics, when non-nil, receives the mmt_cached_* instruments.
+	Metrics *obs.Registry
+}
+
+// CacheServer is the content-addressed remote result cache behind
+// cmd/mmtcached: the runner's persistent cache tiers into it, so every
+// node in a fleet — and every CI run pointed at the same service — shares
+// one pool of simulated outcomes. Entries are the disk-cache format
+// verbatim; PutRaw validation means a misbehaving client cannot poison
+// the store.
+//
+// The HTTP surface:
+//
+//	GET  /v1/cache/{key}  fetch an entry (200 raw blob | 404)
+//	PUT  /v1/cache/{key}  store an entry (204 | 400 on invalid blobs)
+//	GET  /v1/healthz      liveness
+//	GET  /v1/stats        hit/miss/store counters, entry count, bytes, evictions
+type CacheServer struct {
+	store *runner.Cache
+	mux   *http.ServeMux
+	met   *cacheMetrics
+	start time.Time
+
+	mu     sync.Mutex
+	counts cacheCounts
+}
+
+// cacheCounts are the serving counters behind /v1/stats.
+type cacheCounts struct {
+	hits    uint64
+	misses  uint64
+	stores  uint64
+	rejects uint64
+}
+
+// cacheMetrics are the cache service instruments.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	stores    *obs.Counter
+	rejects   *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+	bytes     *obs.Gauge
+}
+
+// NewCacheServer opens the store and builds the handler.
+func NewCacheServer(opts CacheServerOptions) (*CacheServer, error) {
+	store, err := runner.OpenCache(opts.Dir, opts.MaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &CacheServer{store: store, start: time.Now()}
+	if opts.Metrics != nil {
+		s.met = &cacheMetrics{
+			hits:      opts.Metrics.Counter("mmt_cached_hits_total", "Entry fetches that hit."),
+			misses:    opts.Metrics.Counter("mmt_cached_misses_total", "Entry fetches that missed."),
+			stores:    opts.Metrics.Counter("mmt_cached_stores_total", "Entries stored."),
+			rejects:   opts.Metrics.Counter("mmt_cached_rejects_total", "Invalid entries refused."),
+			evictions: opts.Metrics.Counter("mmt_cache_evictions_total", "Entries evicted by the byte budget."),
+			entries:   opts.Metrics.Gauge("mmt_cached_entries", "Entries currently stored."),
+			bytes:     opts.Metrics.Gauge("mmt_cached_bytes", "Bytes currently stored."),
+		}
+		store.SetEvictHook(s.met.evictions.Inc)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handlePut)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP serves the cache API.
+func (s *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+	if s.met != nil {
+		s.met.entries.Set(int64(s.store.Len()))
+		s.met.bytes.Set(s.store.Bytes())
+	}
+}
+
+// Store exposes the underlying cache (entry count and bytes feed the
+// daemon's shutdown report).
+func (s *CacheServer) Store() *runner.Cache { return s.store }
+
+func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	raw, ok := s.store.GetRaw(key)
+	if !ok {
+		s.count(func(c *cacheCounts) { c.misses++ })
+		if s.met != nil {
+			s.met.misses.Inc()
+		}
+		writeError(w, http.StatusNotFound, 0, "no entry for key %.8s", key)
+		return
+	}
+	s.count(func(c *cacheCounts) { c.hits++ })
+	if s.met != nil {
+		s.met.hits.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw) //nolint:errcheck // client went away; nothing to do
+}
+
+func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "reading entry: %v", err)
+		return
+	}
+	if err := s.store.PutRaw(key, raw); err != nil {
+		s.reject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.count(func(c *cacheCounts) { c.stores++ })
+	if s.met != nil {
+		s.met.stores.Inc()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *CacheServer) reject(w http.ResponseWriter, status int, format string, args ...any) {
+	s.count(func(c *cacheCounts) { c.rejects++ })
+	if s.met != nil {
+		s.met.rejects.Inc()
+	}
+	writeError(w, status, 0, format, args...)
+}
+
+func (s *CacheServer) count(f func(*cacheCounts)) {
+	s.mu.Lock()
+	f(&s.counts)
+	s.mu.Unlock()
+}
+
+func (s *CacheServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// CacheStats is the GET /v1/stats body.
+type CacheStats struct {
+	UptimeMS  int64  `json:"uptime_ms"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stores    uint64 `json:"stores"`
+	Rejects   uint64 `json:"rejects"`
+}
+
+func (s *CacheServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	c := s.counts
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, CacheStats{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Entries:   s.store.Len(),
+		Bytes:     s.store.Bytes(),
+		Evictions: s.store.Evictions(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stores:    c.stores,
+		Rejects:   c.rejects,
+	})
+}

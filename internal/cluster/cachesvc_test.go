@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mmt/internal/runner"
+)
+
+func startCacheServer(t *testing.T, opts CacheServerOptions) (*CacheServer, *httptest.Server) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := NewCacheServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// runPool builds a one-off runner pool, runs the spec once, and returns
+// the outcome source counters.
+func runPool(t *testing.T, opts runner.Options) (fromCache bool, executed int) {
+	t.Helper()
+	opts.Workers = 1
+	var comp runner.Completion
+	done := make(chan struct{})
+	opts.OnComplete = func(c runner.Completion) {
+		comp = c
+		close(done)
+	}
+	p, err := runner.New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	task, err := cheapSpec(2000).Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Do(task); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return comp.FromCache, p.Summary().Executed
+}
+
+// TestCacheServerRoundTrip checks the wire contract: a stored entry comes
+// back byte-identical, unknown keys 404, and invalid blobs are refused
+// with 400 so a bad client cannot poison the shared store.
+func TestCacheServerRoundTrip(t *testing.T) {
+	srv, hs := startCacheServer(t, CacheServerOptions{})
+	cli := NewCacheClient(hs.URL, nil)
+	ctx := context.Background()
+
+	task, err := cheapSpec(2000).Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := task.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Miss first.
+	if _, ok, err := cli.Load(ctx, key); err != nil || ok {
+		t.Fatalf("empty store: Load = ok=%v err=%v, want miss", ok, err)
+	}
+
+	// A real entry: simulate once through a pool that writes through.
+	if _, executed := runPool(t, runner.Options{CacheDir: t.TempDir(), RemoteCache: cli}); executed != 1 {
+		t.Fatalf("seed pool executed %d simulations, want 1", executed)
+	}
+	raw, ok, err := cli.Load(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("after write-through: Load = ok=%v err=%v, want hit", ok, err)
+	}
+
+	// Stored entry is served verbatim.
+	again, ok, err := cli.Load(ctx, key)
+	if err != nil || !ok || !bytes.Equal(raw, again) {
+		t.Fatal("repeated Load returned a different blob")
+	}
+
+	// Poison attempts bounce.
+	if err := cli.Store(ctx, key, []byte("{not json")); err == nil {
+		t.Error("Store accepted a torn blob")
+	}
+	if err := cli.Store(ctx, "nothex", raw); err == nil {
+		t.Error("Store accepted a malformed key")
+	}
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if srv.Store().Len() != 1 {
+		t.Errorf("store holds %d entries, want 1", srv.Store().Len())
+	}
+}
+
+// TestColdRestartServedFromRemote is the acceptance scenario: node A
+// simulates and writes through to mmtcached; node B — a cold restart
+// with an empty local cache — serves the same task from the remote tier
+// without re-simulating.
+func TestColdRestartServedFromRemote(t *testing.T) {
+	_, hs := startCacheServer(t, CacheServerOptions{})
+	cli := NewCacheClient(hs.URL, nil)
+
+	if fromCache, executed := runPool(t, runner.Options{CacheDir: t.TempDir(), RemoteCache: cli}); fromCache || executed != 1 {
+		t.Fatalf("warm-up pool: fromCache=%v executed=%d, want a fresh simulation", fromCache, executed)
+	}
+	// Fresh local cache dir = a cold node. Same remote tier.
+	fromCache, executed := runPool(t, runner.Options{CacheDir: t.TempDir(), RemoteCache: cli})
+	if !fromCache || executed != 0 {
+		t.Fatalf("cold node: fromCache=%v executed=%d, want a remote cache hit and zero simulations", fromCache, executed)
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one mmtserved backend on the ring.
+type Node struct {
+	// Name is the node's stable identity on the ring (it seeds the
+	// node's virtual points, so renaming a node moves its keys). Derived
+	// from the URL's host:port when constructed by ParseNodes.
+	Name string `json:"name"`
+	// URL is the backend's base URL, e.g. "http://10.0.0.7:8377".
+	URL string `json:"url"`
+	// Weight scales the node's share of the key space (default 1). A
+	// weight-2 node owns roughly twice the keys of a weight-1 node.
+	Weight int `json:"weight,omitempty"`
+}
+
+// vnodesPerWeight is how many virtual points one unit of weight places on
+// the ring. 160 keeps per-node share within a few percent of proportional
+// while the ring stays small enough to rebuild on every membership change.
+const vnodesPerWeight = 160
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is a consistent-hash ring over a fixed node set: Owner maps a task
+// cache key to the node responsible for it, and key movement on
+// membership change is minimal — adding a node only claims ~1/N of each
+// existing node's keys, removing one only re-homes its own keys. The ring
+// is immutable after New; the router rebuilds it on membership changes.
+type Ring struct {
+	nodes  []Node
+	points []ringPoint
+}
+
+// NewRing builds a ring over the nodes. Weights <= 0 are treated as 1;
+// duplicate names are an error because they would alias ring points.
+func NewRing(nodes []Node) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{nodes: make([]Node, len(nodes))}
+	for i, n := range nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Weight <= 0 {
+			n.Weight = 1
+		}
+		r.nodes[i] = n
+		for v := 0; v < n.Weight*vnodesPerWeight; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n.Name, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// pointHash positions one virtual node: the first 8 bytes of
+// SHA-256("name#v").
+func pointHash(name string, v int) uint64 {
+	sum := sha256.Sum256([]byte(name + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a task cache key on the ring. Keys are already hex
+// SHA-256, but re-hashing keeps the placement independent of the key
+// encoding.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's membership in construction order.
+func (r *Ring) Nodes() []Node { return r.nodes }
+
+// Owner returns the node responsible for key: the first virtual point
+// clockwise from the key's position.
+func (r *Ring) Owner(key string) Node {
+	return r.nodes[r.points[r.search(key)].node]
+}
+
+// search returns the index of key's owning point (caller guarantees a
+// non-empty ring, which NewRing enforces).
+func (r *Ring) search(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return i
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// key's owner — the fallback sequence a router walks when the owner is
+// draining or down. n > len(nodes) is clamped.
+func (r *Ring) Successors(key string, n int) []Node {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]Node, 0, n)
+	seen := make(map[int]bool, n)
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// ParseNodes parses a comma-separated backend list into ring nodes. Each
+// element is a base URL with an optional "*weight" suffix:
+//
+//	http://10.0.0.7:8377,http://10.0.0.8:8377*2
+//
+// Node names are derived from the URL's host:port.
+func ParseNodes(s string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		weight := 1
+		if i := strings.LastIndex(part, "*"); i >= 0 {
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("cluster: bad weight in %q", part)
+			}
+			weight, part = w, part[:i]
+		}
+		u, err := url.Parse(part)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q is not a base URL (want e.g. http://host:port)", part)
+		}
+		nodes = append(nodes, Node{Name: u.Host, URL: strings.TrimRight(part, "/"), Weight: weight})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no backends given")
+	}
+	return nodes, nil
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("n%d", i), URL: fmt.Sprintf("http://10.0.0.%d:8377", i+1), Weight: 1}
+	}
+	return nodes
+}
+
+// testKey is a realistic cache key: 64 lowercase hex characters.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRingDistributionUniform checks that equal-weight nodes receive
+// near-equal key shares: with 160 virtual nodes each, every node should
+// land within ±30% of the fair share.
+func TestRingDistributionUniform(t *testing.T) {
+	const nodes, keys = 5, 20000
+	r, err := NewRing(testNodes(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(testKey(i)).Name]++
+	}
+	fair := float64(keys) / nodes
+	for name, c := range counts {
+		if ratio := float64(c) / fair; ratio < 0.7 || ratio > 1.3 {
+			t.Errorf("node %s owns %d keys (%.2fx fair share, outside ±30%%)", name, c, ratio)
+		}
+	}
+	if len(counts) != nodes {
+		t.Errorf("only %d/%d nodes own keys", len(counts), nodes)
+	}
+}
+
+// TestRingWeightProportional checks that a weight-3 node receives roughly
+// three times the keys of a weight-1 node.
+func TestRingWeightProportional(t *testing.T) {
+	nodes := testNodes(2)
+	nodes[0].Weight = 3
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(testKey(i)).Name]++
+	}
+	ratio := float64(counts["n0"]) / float64(counts["n1"])
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("weight-3 node owns %.2fx the weight-1 node's keys, want ~3x (n0=%d n1=%d)",
+			ratio, counts["n0"], counts["n1"])
+	}
+}
+
+// TestRingMinimalMovementOnJoin checks consistent hashing's defining
+// property: adding a node to a 4-node ring moves only the keys the new
+// node takes over — about 1/5 of them, never a wholesale reshuffle — and
+// every moved key moves TO the new node.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const keys = 10000
+	before, err := NewRing(testNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(testNodes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		was, is := before.Owner(k), after.Owner(k)
+		if was.Name == is.Name {
+			continue
+		}
+		moved++
+		if is.Name != "n4" {
+			t.Fatalf("key %.8s moved %s -> %s: joins must only move keys to the new node", k, was.Name, is.Name)
+		}
+	}
+	// Fair share for the new node is 1/5 = 20%; allow hashing variance.
+	if frac := float64(moved) / keys; frac > 0.30 {
+		t.Errorf("join moved %.0f%% of keys, want ~20%%", 100*frac)
+	} else if moved == 0 {
+		t.Error("join moved no keys: new node is not participating")
+	}
+}
+
+// TestRingMinimalMovementOnLeave checks the converse: removing a node
+// only re-homes the keys it owned.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const keys = 10000
+	before, err := NewRing(testNodes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(testNodes(4)) // n4 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		was, is := before.Owner(k), after.Owner(k)
+		if was.Name != "n4" && was.Name != is.Name {
+			t.Fatalf("key %.8s moved %s -> %s though its owner never left", k, was.Name, is.Name)
+		}
+		if was.Name == "n4" && is.Name == "n4" {
+			t.Fatalf("key %.8s still owned by removed node", k)
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct checks the fallback walk: Successors returns
+// distinct nodes starting at the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r, err := NewRing(testNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := testKey(i)
+		succ := r.Successors(k, 4)
+		if len(succ) != 4 {
+			t.Fatalf("Successors(%q, 4) returned %d nodes", k, len(succ))
+		}
+		if succ[0].Name != r.Owner(k).Name {
+			t.Fatalf("Successors[0] = %s, want owner %s", succ[0].Name, r.Owner(k).Name)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n.Name] {
+				t.Fatalf("Successors returned %s twice", n.Name)
+			}
+			seen[n.Name] = true
+		}
+	}
+}
+
+// TestRingRejectsDuplicates checks membership validation.
+func TestRingRejectsDuplicates(t *testing.T) {
+	nodes := testNodes(2)
+	nodes[1].Name = nodes[0].Name
+	if _, err := NewRing(nodes); err == nil {
+		t.Fatal("NewRing accepted duplicate node names")
+	}
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("NewRing accepted an empty membership")
+	}
+}
+
+// TestParseNodes checks the -backends flag grammar.
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("http://10.0.0.1:8377*2, http://10.0.0.2:8377")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(nodes))
+	}
+	if nodes[0].Name != "10.0.0.1:8377" || nodes[0].Weight != 2 {
+		t.Errorf("node 0 = %+v, want name 10.0.0.1:8377 weight 2", nodes[0])
+	}
+	if nodes[1].Weight != 1 {
+		t.Errorf("node 1 weight = %d, want default 1", nodes[1].Weight)
+	}
+	for _, bad := range []string{"", "not-a-url", "http://a*0", "http://a*x"} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Errorf("ParseNodes(%q) accepted invalid input", bad)
+		}
+	}
+}

@@ -1,0 +1,564 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+
+	"mmt/internal/obs"
+	"mmt/internal/serve"
+	"mmt/internal/serve/client"
+	"mmt/internal/sim"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Nodes is the backend membership (see ParseNodes). Required.
+	Nodes []Node
+	// ProbeEvery is the health/stats probe cadence (default 1s).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe or stats fan-out request (default 2s).
+	ProbeTimeout time.Duration
+	// StealThreshold is the queue depth at which a node counts as hot:
+	// new keys it owns are then diverted to the least-loaded healthy node
+	// whose depth is at most StealMax (default 8).
+	StealThreshold int
+	// StealMax is the maximum queue depth of a steal target (default 1 —
+	// only genuinely idle nodes pull work from hot ones).
+	StealMax int
+	// PlacementTTL bounds how long a key's placement stays pinned to the
+	// node that received it (default 5m). Pinning keeps every submission
+	// of a live key on one node so single-flight dedup holds fleet-wide
+	// even under stealing; the TTL lets cold keys re-home.
+	PlacementTTL time.Duration
+	// Resolve maps a wire TaskSpec to an executable task for key
+	// computation (default sim.TaskSpec.Task). Tests interpose here.
+	Resolve func(sim.TaskSpec) (sim.Task, error)
+	// HTTPClient issues probes, stats fan-outs and submit forwards; nil
+	// uses a client without a global timeout (per-request contexts bound
+	// probes; submits inherit the caller's context).
+	HTTPClient *http.Client
+	// Metrics, when non-nil, receives the mmt_cluster_* instruments.
+	Metrics *obs.Registry
+}
+
+// nodeState is a backend's probed lifecycle position.
+type nodeState int
+
+const (
+	stateUnknown nodeState = iota
+	stateHealthy
+	stateDraining
+	stateDown
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDraining:
+		return "draining"
+	case stateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// backend is one ring node plus its probed state and per-node counters.
+type backend struct {
+	node  Node
+	cli   *client.Client         // submit forwarding; retries stay with the end client
+	proxy *httputil.ReverseProxy // GET /v1/jobs/{id} and its SSE stream
+
+	mu         sync.Mutex
+	state      nodeState
+	queueDepth int
+	stats      serve.Stats
+	statsOK    bool
+	lastErr    string
+	routed     uint64
+	stolen     uint64
+}
+
+func (b *backend) snapshotState() (nodeState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.queueDepth
+}
+
+func (b *backend) markDown(err error) {
+	b.mu.Lock()
+	b.state = stateDown
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+}
+
+// placement pins a key to the backend that received its first submission.
+type placement struct {
+	b  *backend
+	at time.Time
+}
+
+// Router is the fleet coordinator: an http.Handler speaking the mmtserved
+// /v1 job API that consistent-hashes each submission's task cache key
+// onto the backend ring. Construct with NewRouter; Close stops the
+// probers.
+type Router struct {
+	opts  RouterOptions
+	ring  *Ring
+	mux   *http.ServeMux
+	hc    *http.Client
+	met   *routerMetrics
+	start time.Time
+
+	mu         sync.Mutex
+	backends   []*backend
+	byName     map[string]*backend
+	jobs       map[string]*backend
+	placements map[string]placement
+	counts     routerCounts
+
+	stop      chan struct{}
+	probers   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// routerCounts are the router's own counters (guarded by Router.mu).
+type routerCounts struct {
+	routed   uint64 // submissions forwarded to a backend
+	rerouted uint64 // placements that skipped a draining/down ring owner
+	stolen   uint64 // submissions diverted off a hot owner to an idle node
+	errors   uint64 // forwarding failures (transport errors, proxy errors)
+}
+
+// NewRouter builds the router, probes every backend once so routing
+// decisions start informed, and launches the probe loop.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	ring, err := NewRing(opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.StealThreshold <= 0 {
+		opts.StealThreshold = 8
+	}
+	if opts.StealMax <= 0 {
+		opts.StealMax = 1
+	}
+	if opts.PlacementTTL <= 0 {
+		opts.PlacementTTL = 5 * time.Minute
+	}
+	if opts.Resolve == nil {
+		opts.Resolve = func(s sim.TaskSpec) (sim.Task, error) { return s.Task() }
+	}
+	rt := &Router{
+		opts:       opts,
+		ring:       ring,
+		hc:         opts.HTTPClient,
+		start:      time.Now(),
+		byName:     make(map[string]*backend),
+		jobs:       make(map[string]*backend),
+		placements: make(map[string]placement),
+		stop:       make(chan struct{}),
+	}
+	if rt.hc == nil {
+		rt.hc = &http.Client{} // no global timeout: SSE proxying streams indefinitely
+	}
+	if opts.Metrics != nil {
+		rt.met = newRouterMetrics(opts.Metrics)
+	}
+	for _, n := range ring.Nodes() {
+		target, err := url.Parse(n.URL)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %s: %w", n.Name, err)
+		}
+		b := &backend{node: n}
+		b.cli = client.New(n.URL, rt.hc)
+		b.cli.Retries = 0 // retry policy belongs to the end client
+		b.proxy = httputil.NewSingleHostReverseProxy(target)
+		b.proxy.FlushInterval = -1 // SSE: flush every chunk
+		b.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			rt.countError()
+			writeError(w, http.StatusBadGateway, 0, "backend %s: %v", b.node.Name, err)
+		}
+		rt.backends = append(rt.backends, b)
+		rt.byName[n.Name] = b
+	}
+	rt.mux = rt.routes()
+	rt.probeAll()
+	rt.probers.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the probe loop. In-flight proxied requests finish on their
+// own; the router holds no other resources.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		close(rt.stop)
+		rt.probers.Wait()
+	})
+}
+
+// Owner returns the ring owner for a task cache key (ignoring health and
+// placements) — introspection for tests and operators.
+func (rt *Router) Owner(key string) Node { return rt.ring.Owner(key) }
+
+func (rt *Router) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobProxy)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleJobProxy)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	return mux
+}
+
+// ServeHTTP serves the fleet API.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+func (rt *Router) countError() {
+	rt.mu.Lock()
+	rt.counts.errors++
+	rt.mu.Unlock()
+	if rt.met != nil {
+		rt.met.errors.Inc()
+	}
+}
+
+// routeInfo describes how a placement was chosen.
+type routeInfo struct {
+	pinned   bool // an existing live placement was reused
+	rerouted bool // the ring owner was skipped (draining or down)
+	stolen   bool // diverted off a hot owner to an idle node
+}
+
+// place picks the backend for a key: a pinned live placement if one
+// exists, else the first healthy node clockwise from the ring owner, with
+// hot owners relieved by the least-loaded idle node. The new placement is
+// recorded so subsequent submissions of the same key follow it.
+func (rt *Router) place(key string) (*backend, routeInfo, error) {
+	now := time.Now()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if pl, ok := rt.placements[key]; ok {
+		if st, _ := pl.b.snapshotState(); st == stateHealthy && now.Sub(pl.at) < rt.opts.PlacementTTL {
+			return pl.b, routeInfo{pinned: true}, nil
+		}
+		delete(rt.placements, key)
+	}
+	var info routeInfo
+	var owner *backend
+	for _, n := range rt.ring.Successors(key, len(rt.backends)) {
+		b := rt.byName[n.Name]
+		if st, _ := b.snapshotState(); st == stateHealthy {
+			owner = b
+			break
+		}
+		info.rerouted = true
+	}
+	if owner == nil {
+		return nil, info, errors.New("no healthy backends")
+	}
+	chosen := owner
+	if _, depth := owner.snapshotState(); depth >= rt.opts.StealThreshold {
+		// The owner's queue runs hot: let the least-loaded idle node pull
+		// this key instead. The placement pin keeps later submissions of
+		// the key on the thief, so fleet-wide dedup still holds.
+		var idle *backend
+		idleDepth := rt.opts.StealMax + 1
+		for _, b := range rt.backends {
+			if b == owner {
+				continue
+			}
+			if st, d := b.snapshotState(); st == stateHealthy && d < idleDepth {
+				idle, idleDepth = b, d
+			}
+		}
+		if idle != nil {
+			chosen = idle
+			info.stolen = true
+		}
+	}
+	rt.placements[key] = placement{b: chosen, at: now}
+	if rt.met != nil {
+		rt.met.placements.Set(int64(len(rt.placements)))
+	}
+	return chosen, info, nil
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "decoding request: %v", err)
+		return
+	}
+	task, err := rt.opts.Resolve(req.Task)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, "resolving task: %v", err)
+		return
+	}
+	key, err := task.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, 0, "keying task: %v", err)
+		return
+	}
+
+	start := time.Now()
+	// Walk candidates until one accepts: a backend that fails at the
+	// transport level is marked down (the prober will rehabilitate it)
+	// and the key re-places on the next healthy node.
+	for tries := 0; tries < len(rt.backends); tries++ {
+		b, info, perr := rt.place(key)
+		if perr != nil {
+			writeError(w, http.StatusServiceUnavailable, 0, "%v", perr)
+			return
+		}
+		st, err := b.cli.Submit(r.Context(), req)
+		if err == nil {
+			rt.recordSubmit(b, st.ID, info)
+			if rt.met != nil {
+				rt.met.submitLatency.Observe(time.Since(start))
+			}
+			w.Header().Set("Location", "/v1/jobs/"+st.ID)
+			w.Header().Set("X-MMT-Node", b.node.Name)
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		var se *client.StatusError
+		if errors.As(err, &se) {
+			// The backend answered: pass its verdict (400, 429+Retry-After,
+			// 503, ...) through untouched.
+			writeError(w, se.Code, se.RetryAfter, "%s", se.Message)
+			return
+		}
+		if r.Context().Err() != nil {
+			return // client went away mid-forward
+		}
+		rt.countError()
+		b.markDown(err)
+		rt.dropPlacement(key, b)
+	}
+	writeError(w, http.StatusBadGateway, 0, "all backends unreachable")
+}
+
+// recordSubmit books a successful forward: job routing, placement
+// counters, and the route-kind counters.
+func (rt *Router) recordSubmit(b *backend, jobID string, info routeInfo) {
+	rt.mu.Lock()
+	rt.jobs[jobID] = b
+	rt.counts.routed++
+	if info.rerouted {
+		rt.counts.rerouted++
+	}
+	if info.stolen {
+		rt.counts.stolen++
+	}
+	rt.mu.Unlock()
+	b.mu.Lock()
+	b.routed++
+	if info.stolen {
+		b.stolen++
+	}
+	b.mu.Unlock()
+	if rt.met != nil {
+		rt.met.routed.Inc()
+		if info.rerouted {
+			rt.met.rerouted.Inc()
+		}
+		if info.stolen {
+			rt.met.stolen.Inc()
+		}
+	}
+}
+
+// dropPlacement removes key's placement if it still points at b.
+func (rt *Router) dropPlacement(key string, b *backend) {
+	rt.mu.Lock()
+	if pl, ok := rt.placements[key]; ok && pl.b == b {
+		delete(rt.placements, key)
+	}
+	rt.mu.Unlock()
+}
+
+// handleJobProxy forwards GET /v1/jobs/{id} and its SSE stream to the
+// backend that accepted the job. Jobs on a draining node stay reachable
+// until the node finishes its drain and exits.
+func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	b, ok := rt.jobs[id]
+	rt.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, 0, "no such job: %s (not routed through this router)", id)
+		return
+	}
+	b.proxy.ServeHTTP(w, r)
+}
+
+// RouterHealth is the GET /v1/healthz body: serve.Health-compatible, with
+// fleet membership counts alongside.
+type RouterHealth struct {
+	Status   string `json:"status"` // "ok" while >= 1 backend is healthy
+	UptimeMS int64  `json:"uptime_ms"`
+	Healthy  int    `json:"healthy"`
+	Draining int    `json:"draining"`
+	Down     int    `json:"down"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := RouterHealth{UptimeMS: time.Since(rt.start).Milliseconds()}
+	for _, b := range rt.backends {
+		switch st, _ := b.snapshotState(); st {
+		case stateHealthy:
+			h.Healthy++
+		case stateDraining:
+			h.Draining++
+		default:
+			h.Down++
+		}
+	}
+	status := http.StatusOK
+	h.Status = "ok"
+	if h.Healthy == 0 {
+		h.Status = "unhealthy"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleStats serves an aggregated serve.Stats, so tools written against
+// one mmtserved (mmtload's before/after accounting, dashboards) work
+// unchanged against the whole fleet. Counters sum across nodes; latency
+// quantiles report the fleet-worst node.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	fleet, _ := rt.fleetStats(r.Context())
+	fleet.UptimeMS = time.Since(rt.start).Milliseconds()
+	writeJSON(w, http.StatusOK, fleet)
+}
+
+// fleetStats fans a fresh /v1/stats request out to every non-down backend
+// (falling back to the last probed snapshot) and sums the counters. The
+// per-node snapshots are returned alongside for /v1/cluster.
+func (rt *Router) fleetStats(ctx context.Context) (serve.Stats, []serve.Stats) {
+	per := make([]serve.Stats, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		st, _ := b.snapshotState()
+		if st == stateDown || st == stateUnknown {
+			b.mu.Lock()
+			per[i] = b.stats // possibly stale; zero value if never probed
+			b.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			per[i] = rt.fetchStats(ctx, b)
+		}(i, b)
+	}
+	wg.Wait()
+	var fleet serve.Stats
+	for _, s := range per {
+		fleet.QueueDepth += s.QueueDepth
+		fleet.Admitted += s.Admitted
+		fleet.Submitted += s.Submitted
+		fleet.Deduped += s.Deduped
+		fleet.Rejected += s.Rejected
+		fleet.Expired += s.Expired
+		fleet.Completed += s.Completed
+		fleet.Failed += s.Failed
+		fleet.Simulated += s.Simulated
+		fleet.FromCache += s.FromCache
+		fleet.Streams += s.Streams
+		fleet.RequestP50MS = maxf(fleet.RequestP50MS, s.RequestP50MS)
+		fleet.RequestP99MS = maxf(fleet.RequestP99MS, s.RequestP99MS)
+		fleet.JobP50MS = maxf(fleet.JobP50MS, s.JobP50MS)
+		fleet.JobP99MS = maxf(fleet.JobP99MS, s.JobP99MS)
+	}
+	return fleet, per
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NodeStatus is one backend's row in ClusterStats.
+type NodeStatus struct {
+	Node
+	State      string      `json:"state"`
+	QueueDepth int         `json:"queue_depth"`
+	Routed     uint64      `json:"routed"`
+	Stolen     uint64      `json:"stolen"`
+	Error      string      `json:"error,omitempty"`
+	Stats      serve.Stats `json:"stats"`
+}
+
+// ClusterStats is the GET /v1/cluster body: the router's own routing
+// counters, the fleet-summed serving stats, and a per-node breakdown.
+type ClusterStats struct {
+	UptimeMS   int64        `json:"uptime_ms"`
+	Routed     uint64       `json:"routed"`
+	Rerouted   uint64       `json:"rerouted"`
+	Stolen     uint64       `json:"stolen"`
+	Errors     uint64       `json:"errors"`
+	Placements int          `json:"placements"`
+	Fleet      serve.Stats  `json:"fleet"`
+	Nodes      []NodeStatus `json:"nodes"`
+	// DedupRatio is the fraction of completed jobs that did not cost a
+	// fresh simulation — the fleet-wide analogue of the paper's fetch
+	// redundancy: (completed - simulated) / completed.
+	DedupRatio float64 `json:"dedup_ratio"`
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	fleet, per := rt.fleetStats(r.Context())
+	cs := ClusterStats{
+		UptimeMS: time.Since(rt.start).Milliseconds(),
+		Fleet:    fleet,
+	}
+	rt.mu.Lock()
+	cs.Routed = rt.counts.routed
+	cs.Rerouted = rt.counts.rerouted
+	cs.Stolen = rt.counts.stolen
+	cs.Errors = rt.counts.errors
+	cs.Placements = len(rt.placements)
+	rt.mu.Unlock()
+	for i, b := range rt.backends {
+		b.mu.Lock()
+		cs.Nodes = append(cs.Nodes, NodeStatus{
+			Node:       b.node,
+			State:      b.state.String(),
+			QueueDepth: b.queueDepth,
+			Routed:     b.routed,
+			Stolen:     b.stolen,
+			Error:      b.lastErr,
+			Stats:      per[i],
+		})
+		b.mu.Unlock()
+	}
+	if cs.Fleet.Completed > 0 {
+		cs.DedupRatio = float64(cs.Fleet.Completed-cs.Fleet.Simulated) / float64(cs.Fleet.Completed)
+	}
+	writeJSON(w, http.StatusOK, cs)
+}

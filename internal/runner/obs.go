@@ -10,32 +10,40 @@ import (
 // nil when Options.Metrics is unset, so instrumented sites cost one nil
 // check.
 type poolMetrics struct {
-	scheduled   *obs.Counter
-	executed    *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	failed      *obs.Counter
-	retries     *obs.Counter
-	invalidated *obs.Counter
-	busy        *obs.Gauge
-	queued      *obs.Gauge
-	queueTime   *obs.Timer
-	runTime     *obs.Timer
+	scheduled    *obs.Counter
+	executed     *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	failed       *obs.Counter
+	retries      *obs.Counter
+	invalidated  *obs.Counter
+	evictions    *obs.Counter
+	remoteHits   *obs.Counter
+	remoteMisses *obs.Counter
+	remoteStores *obs.Counter
+	busy         *obs.Gauge
+	queued       *obs.Gauge
+	queueTime    *obs.Timer
+	runTime      *obs.Timer
 }
 
 func newPoolMetrics(r *obs.Registry) *poolMetrics {
 	return &poolMetrics{
-		scheduled:   r.Counter("mmt_runner_jobs_scheduled_total", "Distinct jobs scheduled on the pool."),
-		executed:    r.Counter("mmt_runner_jobs_executed_total", "Simulations run to completion."),
-		cacheHits:   r.Counter("mmt_runner_cache_hits_total", "Jobs served from the persistent result cache."),
-		cacheMisses: r.Counter("mmt_runner_cache_misses_total", "Persistent-cache lookups that missed."),
-		failed:      r.Counter("mmt_runner_jobs_failed_total", "Jobs that finished with an error."),
-		retries:     r.Counter("mmt_runner_retries_total", "Extra attempts consumed by failed jobs."),
-		invalidated: r.Counter("mmt_runner_cache_invalidated_total", "Corrupt or mismatched cache entries deleted."),
-		busy:        r.Gauge("mmt_runner_workers_busy", "Workers currently executing a job."),
-		queued:      r.Gauge("mmt_runner_queue_depth", "Jobs waiting for a worker."),
-		queueTime:   r.Timer("mmt_runner_queue", "Time jobs spent queued before a worker picked them up."),
-		runTime:     r.Timer("mmt_runner_run", "Wall-clock time of executed simulations."),
+		scheduled:    r.Counter("mmt_runner_jobs_scheduled_total", "Distinct jobs scheduled on the pool."),
+		executed:     r.Counter("mmt_runner_jobs_executed_total", "Simulations run to completion."),
+		cacheHits:    r.Counter("mmt_runner_cache_hits_total", "Jobs served from the persistent result cache."),
+		cacheMisses:  r.Counter("mmt_runner_cache_misses_total", "Persistent-cache lookups that missed."),
+		failed:       r.Counter("mmt_runner_jobs_failed_total", "Jobs that finished with an error."),
+		retries:      r.Counter("mmt_runner_retries_total", "Extra attempts consumed by failed jobs."),
+		invalidated:  r.Counter("mmt_runner_cache_invalidated_total", "Corrupt or mismatched cache entries deleted."),
+		evictions:    r.Counter("mmt_cache_evictions_total", "Entries evicted from the persistent cache by its byte budget."),
+		remoteHits:   r.Counter("mmt_runner_remote_cache_hits_total", "Jobs served from the remote shared cache tier."),
+		remoteMisses: r.Counter("mmt_runner_remote_cache_misses_total", "Remote cache lookups that missed or failed."),
+		remoteStores: r.Counter("mmt_runner_remote_cache_stores_total", "Outcomes written through to the remote cache tier."),
+		busy:         r.Gauge("mmt_runner_workers_busy", "Workers currently executing a job."),
+		queued:       r.Gauge("mmt_runner_queue_depth", "Jobs waiting for a worker."),
+		queueTime:    r.Timer("mmt_runner_queue", "Time jobs spent queued before a worker picked them up."),
+		runTime:      r.Timer("mmt_runner_run", "Wall-clock time of executed simulations."),
 	}
 }
 

@@ -57,6 +57,15 @@ type Options struct {
 	Workers int
 	// CacheDir, when non-empty, enables the persistent result cache.
 	CacheDir string
+	// CacheMaxBytes caps the persistent cache's disk footprint; beyond it
+	// least-recently-used entries are evicted (0 = unlimited).
+	CacheMaxBytes int64
+	// RemoteCache, when non-nil, is the shared result-cache tier checked
+	// on a local cache miss and written through on store (see RemoteCache;
+	// internal/cluster provides the HTTP client for cmd/mmtcached).
+	RemoteCache RemoteCache
+	// RemoteTimeout bounds one remote cache load or store (default 2s).
+	RemoteTimeout time.Duration
 	// Timeout bounds one attempt's wall clock (0 = none). The simulator
 	// is not interruptible, so a timed-out attempt's goroutine is
 	// abandoned and the attempt reported failed.
@@ -109,7 +118,7 @@ type job struct {
 type Pool struct {
 	ctx   context.Context
 	opts  Options
-	cache *diskCache
+	cache *Cache
 	met   *poolMetrics // nil when Options.Metrics is unset
 
 	mu       sync.Mutex
@@ -170,11 +179,17 @@ func New(ctx context.Context, opts Options) (*Pool, error) {
 		p.met = newPoolMetrics(opts.Metrics)
 	}
 	if opts.CacheDir != "" {
-		c, err := openDiskCache(opts.CacheDir)
+		c, err := OpenCache(opts.CacheDir, opts.CacheMaxBytes)
 		if err != nil {
 			return nil, err
 		}
+		if p.met != nil {
+			c.SetEvictHook(p.met.evictions.Inc)
+		}
 		p.cache = c
+	}
+	if opts.RemoteTimeout <= 0 {
+		p.opts.RemoteTimeout = 2 * time.Second
 	}
 	for i := 0; i < opts.Workers; i++ {
 		p.workers.Add(1)
@@ -348,6 +363,12 @@ func (p *Pool) run(j *job, wid int) {
 			p.met.cacheMisses.Inc()
 		}
 	}
+	if out, ok := p.remoteLoad(j); ok {
+		p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvCacheHit,
+			Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
+		p.finish(j, out, true, 0, nil)
+		return
+	}
 	start := time.Now()
 	var out *sim.Outcome
 	var err error
@@ -371,12 +392,79 @@ func (p *Pool) run(j *job, wid int) {
 	p.traceEvent(obs.Event{TS: p.sinceStart(start), Kind: obs.EvJob, Track: int32(wid),
 		Name: j.task.Name(), Dur: uint64(dur.Microseconds()), Arg: uint64(retries),
 		Trace: j.task.TraceID})
-	if err == nil && p.cache != nil {
-		if werr := p.cache.store(j.key, j.task, out); werr != nil && p.opts.Progress != nil {
-			fmt.Fprintf(p.opts.Progress, "runner: cache write for %s failed: %v\n", j.task.Name(), werr)
-		}
+	if err == nil {
+		p.storeOutcome(j, out)
 	}
 	p.finish(j, out, false, dur, err)
+}
+
+// storeOutcome persists a freshly simulated outcome: into the local disk
+// cache, and through to the remote shared tier when one is configured.
+// Both writes are best-effort — a failed store only costs a future
+// re-simulation.
+func (p *Pool) storeOutcome(j *job, out *sim.Outcome) {
+	var raw []byte
+	if p.cache != nil {
+		var err error
+		if raw, err = p.cache.store(j.key, j.task, out); err != nil {
+			if p.opts.Progress != nil {
+				fmt.Fprintf(p.opts.Progress, "runner: cache write for %s failed: %v\n", j.task.Name(), err)
+			}
+			raw = nil
+		}
+	}
+	if p.opts.RemoteCache == nil {
+		return
+	}
+	if raw == nil {
+		var err error
+		if raw, err = encodeEntry(j.key, j.task, out); err != nil {
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.RemoteTimeout)
+	defer cancel()
+	if err := p.opts.RemoteCache.Store(ctx, j.key, raw); err != nil {
+		if p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runner: remote cache write for %s failed: %v\n", j.task.Name(), err)
+		}
+		return
+	}
+	if p.met != nil {
+		p.met.remoteStores.Inc()
+	}
+}
+
+// remoteLoad consults the remote shared cache tier after a local miss.
+// Hits are validated like disk entries and copied into the local cache,
+// so the next restart answers locally; any error degrades into a miss.
+func (p *Pool) remoteLoad(j *job) (*sim.Outcome, bool) {
+	if p.opts.RemoteCache == nil {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(p.ctx, p.opts.RemoteTimeout)
+	defer cancel()
+	raw, ok, err := p.opts.RemoteCache.Load(ctx, j.key)
+	if err != nil || !ok {
+		if p.met != nil {
+			p.met.remoteMisses.Inc()
+		}
+		return nil, false
+	}
+	out, derr := decodeEntry(raw, j.key, j.task)
+	if derr != nil {
+		if p.met != nil {
+			p.met.remoteMisses.Inc()
+		}
+		return nil, false
+	}
+	if p.cache != nil {
+		p.cache.PutRaw(j.key, raw) //nolint:errcheck // warming the local tier is best-effort
+	}
+	if p.met != nil {
+		p.met.remoteHits.Inc()
+	}
+	return out, true
 }
 
 // attempt runs the task once on a fresh goroutine, converting panics into

@@ -150,6 +150,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("client: %s %s: giving up after %d attempts: %w",
 				method, path, attempt+1, last)
 		}
+		// Check ctx before computing and serving the backoff: a cancelled
+		// caller must not sit out a multi-second delay (or a Retry-After)
+		// just to learn it was cancelled.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
 			return err
 		}
@@ -204,9 +210,13 @@ func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
 // Wait follows the job's SSE stream until it turns terminal and returns
 // the final status. onEvent, when non-nil, sees every event (state,
 // progress, outcome) as it arrives. A dropped stream reconnects with the
-// same backoff schedule as requests; ctx cancels the wait.
+// same backoff schedule as requests, honoring the server's Retry-After;
+// ctx cancels the wait immediately, even mid-backoff. When reconnects run
+// out, the returned error wraps the last *StatusError, so errors.As
+// recovers the server's final Retry-After.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(event string, st serve.JobStatus)) (serve.JobStatus, error) {
 	var last error
+	var retryAfter time.Duration
 	for attempt := 0; ; attempt++ {
 		st, err := c.stream(ctx, id, onEvent)
 		if err == nil {
@@ -216,15 +226,25 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(event string,
 			return serve.JobStatus{}, ctx.Err()
 		}
 		var se *StatusError
-		if asStatusError(err, &se) && !retryable(se.Code) {
-			return serve.JobStatus{}, err
+		if asStatusError(err, &se) {
+			if !retryable(se.Code) {
+				return serve.JobStatus{}, err
+			}
+			retryAfter = se.RetryAfter
+		} else {
+			retryAfter = 0
 		}
 		last = err
 		if attempt >= c.Retries {
 			return serve.JobStatus{}, fmt.Errorf("client: streaming job %s: giving up after %d attempts: %w",
 				id, attempt+1, last)
 		}
-		if err := c.sleep(ctx, c.backoff(attempt, 0)); err != nil {
+		// Same contract as do(): never enter a backoff sleep once the
+		// caller has cancelled.
+		if err := ctx.Err(); err != nil {
+			return serve.JobStatus{}, err
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
 			return serve.JobStatus{}, err
 		}
 	}

@@ -210,6 +210,104 @@ func TestWaitReconnectsAfterDrop(t *testing.T) {
 	}
 }
 
+func TestWaitReconnectHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, `{"error":"stream quota"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseWrite(w, "outcome", serve.JobStatus{ID: "j1", State: serve.StateDone})
+	}))
+	defer hs.Close()
+
+	c, slept := testClient(hs.URL)
+	st, err := c.Wait(context.Background(), "j1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone {
+		t.Errorf("final state = %s", st.State)
+	}
+	// The server's 3s hint beats the 100ms computed reconnect backoff.
+	if len(*slept) != 1 || (*slept)[0] != 3*time.Second {
+		t.Errorf("sleeps = %v, want [3s]", *slept)
+	}
+}
+
+func TestWaitSurfacesRetryAfterOnGiveUp(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"stream quota"}`, http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	c, _ := testClient(hs.URL)
+	c.Retries = 1
+	_, err := c.Wait(context.Background(), "j1", nil)
+	if err == nil {
+		t.Fatal("Wait succeeded against a permanent 429")
+	}
+	var se *StatusError
+	if !asStatusError(err, &se) {
+		t.Fatalf("err = %v, want a wrapped StatusError", err)
+	}
+	if se.Code != http.StatusTooManyRequests || se.RetryAfter != 7*time.Second {
+		t.Errorf("surfaced StatusError = code %d retryAfter %s, want 429 with 7s", se.Code, se.RetryAfter)
+	}
+}
+
+// TestWaitCancelSkipsBackoff checks the cancellation contract: once the
+// caller's context is done, Wait returns without serving another backoff
+// sleep — even with a sleep seam that would ignore the context.
+func TestWaitCancelSkipsBackoff(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var sleeps atomic.Int32
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		// A sleep that ignores its context: the pre-sleep ctx check must
+		// keep this from running again after the cancel below.
+		sleeps.Add(1)
+		cancel()
+		return nil
+	}
+	c.jitter = func(d time.Duration) time.Duration { return d }
+	_, err := c.Wait(ctx, "j1", nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sleeps.Load() != 1 {
+		t.Errorf("slept %d times after cancellation, want the loop to stop at 1", sleeps.Load())
+	}
+}
+
+// TestDefaultSleepHonorsContext checks the production sleep seam: a
+// cancellation mid-backoff returns immediately instead of finishing the
+// full delay.
+func TestDefaultSleepHonorsContext(t *testing.T) {
+	c := New("http://unused", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := c.sleep(ctx, 10*time.Second)
+	if err != context.Canceled {
+		t.Fatalf("sleep = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("sleep held the full backoff (%s) after cancellation", waited)
+	}
+}
+
 // TestRunAgainstRealServer is the end-to-end path: a real serve.Server, a
 // real (bounded) simulation, the one-call Run API.
 func TestRunAgainstRealServer(t *testing.T) {
