@@ -15,6 +15,7 @@ import (
 
 	"mmt/internal/cluster"
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 )
 
 // RunCached is the mmtcached command: the content-addressed remote result
@@ -37,12 +38,17 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics, expvar and pprof on this address")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *version {
 		printVersion(stdout, "mmtcached")
 		return nil
+	}
+	logger, err := logf.logger(progress)
+	if err != nil {
+		return err
 	}
 	if *dir == "" {
 		return errors.New("-dir is required (entry directory)")
@@ -57,13 +63,17 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 		}
 		defer msrv.Close()
 	}
-	srv, err := cluster.NewCacheServer(opts)
+	// Bind before constructing the server: the tracer's service label
+	// carries the resolved address, matching the rest of the fleet.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-
-	ln, err := net.Listen("tcp", *addr)
+	opts.Tracer = span.NewTracer("mmtcached@"+ln.Addr().String(), span.DefaultCapacity)
+	opts.Log = logger.With("service", "mmtcached")
+	srv, err := cluster.NewCacheServer(opts)
 	if err != nil {
+		ln.Close()
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -71,6 +72,39 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 	}
 
+	// mmttrace stitches one submission's trace across the router, the
+	// owning node and the cache daemon — chasing the dedup link when job
+	// 0 happened to join another flight — and exports a Chrome timeline.
+	var traceOut bytes.Buffer
+	chromePath := filepath.Join(t.TempDir(), "fleet-trace.json")
+	if err := runTrace([]string{"-server", "http://" + routerAddr,
+		"-sources", "http://" + cachedAddr, "-trace", "load-4-0",
+		"-chrome", chromePath}, &traceOut, io.Discard); err != nil {
+		t.Fatalf("mmttrace: %v\n%s", err, traceOut.String())
+	}
+	wf := traceOut.String()
+	if !strings.Contains(wf, "from 3 processes") {
+		t.Errorf("waterfall not stitched from 3 processes:\n%s", wf)
+	}
+	for _, want := range []string{"router.submit", "mmtserved@", "mmtcached@"} {
+		if !strings.Contains(wf, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, wf)
+		}
+	}
+	if raw, err := os.ReadFile(chromePath); err != nil || !bytes.Contains(raw, []byte("traceEvents")) {
+		t.Errorf("chrome trace not written: %v", err)
+	}
+
+	// The fleet-wide listing ranks recent traces by duration.
+	traceOut.Reset()
+	if err := runTrace([]string{"-server", "http://" + routerAddr, "-slowest", "5"},
+		&traceOut, io.Discard); err != nil {
+		t.Fatalf("mmttrace -slowest: %v", err)
+	}
+	if !strings.Contains(traceOut.String(), "load-4-") {
+		t.Errorf("slowest listing missing load traces:\n%s", traceOut.String())
+	}
+
 	// Cold restart: node A goes away, its local cache is wiped, and a
 	// fresh node with the same remote tier replays the workload without a
 	// single new simulation.
@@ -114,7 +148,10 @@ func TestClusterEndToEnd(t *testing.T) {
 		}
 	}
 	got := progress.String()
-	for _, want := range []string{"mmtrouter: drained, bye", "mmtcached:", "entries"} {
+	// The daemons' structured logs stamp routing decisions with the
+	// trace id (default text format, written to the progress stream).
+	for _, want := range []string{"mmtrouter: drained, bye", "mmtcached:", "entries",
+		`msg="job routed"`, "trace=load-4-"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("progress missing %q:\n%s", want, got)
 		}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// logOptions carries the structured-logging flags every daemon shares:
+// -log-format picks the encoding, -log-level the floor. Request-scoped
+// lines stamp the trace and span ids, so a log line and a waterfall row
+// from the same hop grep to each other.
+type logOptions struct {
+	format *string
+	level  *string
+}
+
+// addLogFlags registers -log-format and -log-level on fs.
+func addLogFlags(fs *flag.FlagSet) logOptions {
+	return logOptions{
+		format: fs.String("log-format", "text", "structured log encoding: text or json"),
+		level:  fs.String("log-level", "info", "minimum log level: debug, info, warn or error"),
+	}
+}
+
+// logger builds the logger behind the flags, writing to w — the daemon's
+// progress stream, so stdout stays reserved for results. A nil w
+// silences logging entirely.
+func (lo logOptions) logger(w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	var level slog.Level
+	switch *lo.level {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("invalid -log-level %q (debug, info, warn or error)", *lo.level)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	switch *lo.format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, hopts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (text or json)", *lo.format)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"mmt/internal/cluster"
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 )
 
 // RunRouter is the mmtrouter command: the fleet coordinator that
@@ -43,12 +44,17 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics, expvar and pprof on this address")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *version {
 		printVersion(stdout, "mmtrouter")
 		return nil
+	}
+	logger, err := logf.logger(progress)
+	if err != nil {
+		return err
 	}
 	if *backends == "" {
 		return errors.New("-backends is required (comma-separated mmtserved URLs)")
@@ -74,16 +80,20 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 		}
 		defer msrv.Close()
 	}
-	rt, err := cluster.NewRouter(opts)
-	if err != nil {
-		return err
-	}
-	defer rt.Close()
-
+	// Bind before constructing the router: the tracer's service label
+	// carries the resolved address, matching the nodes' span rings.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	opts.Tracer = span.NewTracer("mmtrouter@"+ln.Addr().String(), span.DefaultCapacity)
+	opts.Log = logger.With("service", "mmtrouter")
+	rt, err := cluster.NewRouter(opts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer rt.Close()
 	httpSrv := &http.Server{Handler: rt}
 	if progress != nil {
 		fmt.Fprintf(progress, "mmtrouter %s routing on http://%s/v1 across %d backends\n",

@@ -16,6 +16,7 @@ import (
 
 	"mmt/internal/cluster"
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 	"mmt/internal/runner"
 	"mmt/internal/serve"
 )
@@ -53,12 +54,17 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics, expvar and pprof on this address")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *version {
 		printVersion(stdout, "mmtserved")
 		return nil
+	}
+	logger, err := logf.logger(progress)
+	if err != nil {
+		return err
 	}
 	if err := validateTimeout(*timeout); err != nil {
 		return err
@@ -113,17 +119,22 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		closeTrace = closeSinks
 	}
 
-	srv, err := serve.New(rootCtx, opts)
+	// Bind before constructing the server: the tracer's service label
+	// carries the resolved address, so a stitched fleet waterfall names
+	// the node each span ran on.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		if closeTrace != nil {
 			closeTrace()
 		}
 		return err
 	}
+	opts.Tracer = span.NewTracer("mmtserved@"+ln.Addr().String(), span.DefaultCapacity)
+	opts.Log = logger.With("service", "mmtserved")
 
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := serve.New(rootCtx, opts)
 	if err != nil {
-		srv.Close()
+		ln.Close()
 		if closeTrace != nil {
 			closeTrace()
 		}

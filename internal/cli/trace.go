@@ -1,0 +1,274 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mmt/internal/cluster"
+	"mmt/internal/obs"
+	"mmt/internal/obs/span"
+)
+
+// RunTrace is the mmttrace command: it fetches one trace's spans from
+// every process in the fleet — the router, each mmtserved node discovered
+// via /v1/cluster, and any extra -sources — stitches them into one tree,
+// and renders a text waterfall (and optionally a Chrome trace-event file).
+// Without -trace it lists recent traces fleet-wide; -slowest N ranks them
+// by duration instead of recency.
+func RunTrace(args []string, stdout io.Writer) error {
+	return runTrace(args, stdout, os.Stderr)
+}
+
+// runTrace is RunTrace with the warning stream exposed (for tests).
+func runTrace(args []string, stdout, progress io.Writer) error {
+	fs := flag.NewFlagSet("mmttrace", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		server  = fs.String("server", "http://127.0.0.1:8378", "router (or single mmtserved) base URL; fleet nodes are discovered via its /v1/cluster")
+		sources = fs.String("sources", "", "extra comma-separated base URLs to also fetch spans from (e.g. an mmtcached)")
+		traceID = fs.String("trace", "", "trace id to stitch and render (empty = list recent traces)")
+		slowest = fs.Int("slowest", 0, "list the N slowest recent traces across the fleet instead of the newest")
+		limit   = fs.Int("limit", 20, "how many traces to list without -slowest")
+		chrome  = fs.String("chrome", "", "also write the stitched trace as Chrome trace-event JSON (open in Perfetto)")
+		timeout = fs.Duration("timeout", 10*time.Second, "overall fetch timeout")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		printVersion(stdout, "mmttrace")
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	eps := discoverEndpoints(ctx, *server, *sources, progress)
+
+	if *traceID == "" {
+		n := *limit
+		if *slowest > 0 {
+			n = *slowest
+		}
+		return listTraces(ctx, stdout, eps, *slowest > 0, n)
+	}
+
+	tree, err := fetchStitched(ctx, eps, *traceID, progress)
+	if err != nil {
+		return err
+	}
+	tree.WriteWaterfall(stdout)
+	if *chrome != "" {
+		if err := writeChromeTrace(*chrome, tree); err != nil {
+			return err
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "mmttrace: wrote Chrome trace %s\n", *chrome)
+		}
+	}
+	return nil
+}
+
+// discoverEndpoints resolves the set of span rings to query: the -server
+// itself, every node its /v1/cluster reports (when it is a router), and
+// any extra -sources. Order is stable and duplicates collapse.
+func discoverEndpoints(ctx context.Context, server, extra string, progress io.Writer) []string {
+	seen := make(map[string]bool)
+	var eps []string
+	add := func(base string) {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" || seen[base] {
+			return
+		}
+		seen[base] = true
+		eps = append(eps, base)
+	}
+	add(server)
+	if cs, err := cluster.FetchClusterStats(ctx, nil, server); err == nil {
+		for _, n := range cs.Nodes {
+			add(n.Node.URL)
+		}
+	} else if progress != nil {
+		fmt.Fprintf(progress, "mmttrace: no cluster behind %s (%v); querying it alone\n", server, err)
+	}
+	for _, s := range strings.Split(extra, ",") {
+		add(s)
+	}
+	return eps
+}
+
+// fetchStitched gathers one trace's spans from every endpoint and
+// stitches them. Dedup joiner spans link to the creator's trace; those
+// linked traces are fetched too (bounded depth), so a joined submission
+// renders alongside the execution that actually served it.
+func fetchStitched(ctx context.Context, eps []string, traceID string, progress io.Writer) (*span.Tree, error) {
+	var (
+		records []span.Record
+		hc      = &http.Client{}
+		fetched = make(map[string]bool)
+		failed  = make(map[string]bool)
+		reached = 0
+	)
+	queue := []string{traceID}
+	for depth := 0; len(queue) > 0 && depth < 4; depth++ {
+		ids := queue
+		queue = nil
+		for _, id := range ids {
+			if fetched[id] {
+				continue
+			}
+			fetched[id] = true
+			for _, ep := range eps {
+				if failed[ep] {
+					continue
+				}
+				sr, err := span.FetchSpans(ctx, hc, ep, id)
+				if err != nil {
+					failed[ep] = true
+					if progress != nil {
+						fmt.Fprintf(progress, "mmttrace: %s: %v (skipping)\n", ep, err)
+					}
+					continue
+				}
+				reached++
+				records = append(records, sr.Spans...)
+			}
+		}
+		for _, link := range span.Stitch(records).Links() {
+			if !fetched[link.TraceID] {
+				queue = append(queue, link.TraceID)
+			}
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("no span endpoint reachable (tried %s)", strings.Join(eps, ", "))
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("no spans for trace %q on %d endpoints — traces live in a bounded in-memory ring, so old ones age out", traceID, reached)
+	}
+	return span.Stitch(records), nil
+}
+
+// fleetTrace is one trace's summaries merged across processes.
+type fleetTrace struct {
+	id        string
+	root      string
+	rootStart int64
+	spans     int
+	procs     int
+	start     int64
+	end       int64
+}
+
+// listTraces merges every process's recent-trace summaries and prints
+// them: newest first, or the slowest (by fleet-wide wall-clock window)
+// when bySlowest is set.
+func listTraces(ctx context.Context, w io.Writer, eps []string, bySlowest bool, n int) error {
+	merged := make(map[string]*fleetTrace)
+	hc := &http.Client{}
+	reached := 0
+	for _, ep := range eps {
+		tr, err := span.FetchTraces(ctx, hc, ep, 100)
+		if err != nil {
+			continue
+		}
+		reached++
+		for _, s := range tr.Traces {
+			m := merged[s.TraceID]
+			if m == nil {
+				m = &fleetTrace{id: s.TraceID, start: s.StartUNS}
+				merged[s.TraceID] = m
+			}
+			m.spans += s.Spans
+			m.procs++
+			if s.StartUNS < m.start {
+				m.start = s.StartUNS
+			}
+			if end := s.StartUNS + int64(s.DurMS*1e6); end > m.end {
+				m.end = end
+			}
+			// The process that saw the trace first holds its true root
+			// (e.g. router.submit rather than a node's serve.submit).
+			if m.root == "" || s.StartUNS < m.rootStart {
+				m.root, m.rootStart = s.Root, s.StartUNS
+			}
+		}
+	}
+	if reached == 0 {
+		return errors.New("no span endpoint reachable (is the fleet running?)")
+	}
+	list := make([]*fleetTrace, 0, len(merged))
+	for _, m := range merged { // mmtvet:ok — sorted below
+		list = append(list, m)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if bySlowest {
+			if di, dj := list[i].end-list[i].start, list[j].end-list[j].start; di != dj {
+				return di > dj
+			}
+		} else if list[i].start != list[j].start {
+			return list[i].start > list[j].start
+		}
+		return list[i].id < list[j].id
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	fmt.Fprintf(w, "%-36s %12s %6s %6s  %s\n", "trace", "duration", "spans", "procs", "root")
+	for _, m := range list {
+		fmt.Fprintf(w, "%-36s %12s %6d %6d  %s\n",
+			m.id, fmt.Sprintf("%.3fms", float64(m.end-m.start)/1e6), m.spans, m.procs, m.root)
+	}
+	return nil
+}
+
+// writeChromeTrace exports the stitched tree as Chrome trace-event JSON:
+// one named track per fleet process, spans as complete events offset from
+// the trace start.
+func writeChromeTrace(path string, t *span.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewChromeTrace(f, obs.ChromeTraceConfig{
+		Process:     "mmt fleet",
+		TrackPrefix: "process",
+		Meta: map[string]string{
+			"version": Version(),
+			"traces":  strings.Join(t.Traces, ","),
+		},
+	})
+	tracks := make(map[string]int32, len(t.Services))
+	for i, svc := range t.Services {
+		tracks[svc] = int32(i)
+		sink.NameTrack(int32(i), svc)
+	}
+	start, _ := t.Window()
+	t.Walk(func(n *span.Node, _ int) {
+		args := map[string]any{"trace": n.TraceID, "span": n.SpanID}
+		for k, v := range n.Attrs { // mmtvet:ok — viewer payload, order-free
+			args[k] = v
+		}
+		if n.LinkSpan != "" {
+			args["link"] = n.LinkSpan + "@" + n.LinkTrace
+		}
+		dur := uint64(n.DurNS) / 1000
+		if dur == 0 {
+			dur = 1 // zero-width spans vanish in the viewer
+		}
+		sink.Span(tracks[n.Service], n.Name, uint64(n.StartUNS-start)/1000, dur, args)
+	})
+	if err := sink.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

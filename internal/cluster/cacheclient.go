@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"mmt/internal/obs/span"
 )
 
 // CacheClient implements runner.RemoteCache against a CacheServer. A nil
@@ -34,6 +36,9 @@ func (c *CacheClient) Load(ctx context.Context, key string) ([]byte, bool, error
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache/"+key, nil)
 	if err != nil {
 		return nil, false, err
+	}
+	if sc, ok := span.FromContext(ctx); ok {
+		span.Inject(req.Header, sc)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -62,6 +67,9 @@ func (c *CacheClient) Store(ctx context.Context, key string, raw []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc, ok := span.FromContext(ctx); ok {
+		span.Inject(req.Header, sc)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 	"mmt/internal/runner"
 )
 
@@ -24,6 +26,14 @@ type CacheServerOptions struct {
 	MaxBytes int64
 	// Metrics, when non-nil, receives the mmt_cached_* instruments.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a span per traced get/put — only for
+	// requests that arrive with a traceparent header, so untraced traffic
+	// (warm-up scripts, curl) does not fill the ring — and serves them at
+	// GET /v1/spans.
+	Tracer *span.Tracer
+	// Log, when non-nil, receives request-scoped structured log lines
+	// stamped with trace and span ids. Nil discards.
+	Log *slog.Logger
 }
 
 // CacheServer is the content-addressed remote result cache behind
@@ -40,10 +50,12 @@ type CacheServerOptions struct {
 //	GET  /v1/healthz      liveness
 //	GET  /v1/stats        hit/miss/store counters, entry count, bytes, evictions
 type CacheServer struct {
-	store *runner.Cache
-	mux   *http.ServeMux
-	met   *cacheMetrics
-	start time.Time
+	store  *runner.Cache
+	mux    *http.ServeMux
+	met    *cacheMetrics
+	tracer *span.Tracer
+	log    *slog.Logger
+	start  time.Time
 
 	mu     sync.Mutex
 	counts cacheCounts
@@ -74,7 +86,10 @@ func NewCacheServer(opts CacheServerOptions) (*CacheServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &CacheServer{store: store, start: time.Now()}
+	s := &CacheServer{store: store, tracer: opts.Tracer, log: opts.Log, start: time.Now()}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if opts.Metrics != nil {
 		s.met = &cacheMetrics{
 			hits:      opts.Metrics.Counter("mmt_cached_hits_total", "Entry fetches that hit."),
@@ -92,8 +107,35 @@ func NewCacheServer(opts CacheServerOptions) (*CacheServer, error) {
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handlePut)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.tracer != nil {
+		mux.Handle("GET /v1/spans", s.tracer)
+	}
 	s.mux = mux
 	return s, nil
+}
+
+// startSpan opens a hop span for a request that arrived with a valid
+// trace context; nil (a no-op) otherwise.
+func (s *CacheServer) startSpan(r *http.Request, name string) *span.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	parent := span.Extract(r.Header)
+	if !parent.Valid() {
+		return nil
+	}
+	sp := s.tracer.Start(parent, name)
+	sp.SetAttr("key", short(r.PathValue("key")))
+	return sp
+}
+
+// short truncates a cache key for logs and span attributes — the 8-char
+// prefix is what every other surface (errors, mmtload) prints.
+func short(key string) string {
+	if len(key) > 8 {
+		return key[:8]
+	}
+	return key
 }
 
 // ServeHTTP serves the cache API.
@@ -111,8 +153,13 @@ func (s *CacheServer) Store() *runner.Cache { return s.store }
 
 func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	sp := s.startSpan(r, "cached.get")
+	defer sp.End()
 	raw, ok := s.store.GetRaw(key)
+	s.log.Debug("cache get", "key", short(key), "hit", ok,
+		"trace", sp.Context().TraceID, "span", sp.Context().SpanID)
 	if !ok {
+		sp.SetAttr("result", "miss")
 		s.count(func(c *cacheCounts) { c.misses++ })
 		if s.met != nil {
 			s.met.misses.Inc()
@@ -120,6 +167,7 @@ func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, 0, "no entry for key %.8s", key)
 		return
 	}
+	sp.SetAttr("result", "hit")
 	s.count(func(c *cacheCounts) { c.hits++ })
 	if s.met != nil {
 		s.met.hits.Inc()
@@ -131,15 +179,22 @@ func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	sp := s.startSpan(r, "cached.put")
+	defer sp.End()
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
 	if err != nil {
+		sp.SetAttr("result", "rejected")
 		s.reject(w, http.StatusBadRequest, "reading entry: %v", err)
 		return
 	}
 	if err := s.store.PutRaw(key, raw); err != nil {
+		sp.SetAttr("result", "rejected")
 		s.reject(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp.SetAttr("result", "stored")
+	s.log.Info("entry stored", "key", short(key), "bytes", len(raw),
+		"trace", sp.Context().TraceID, "span", sp.Context().SpanID)
 	s.count(func(c *cacheCounts) { c.stores++ })
 	if s.met != nil {
 		s.met.stores.Inc()

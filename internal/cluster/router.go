@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 	"mmt/internal/serve"
 	"mmt/internal/serve/client"
 	"mmt/internal/sim"
@@ -46,6 +49,15 @@ type RouterOptions struct {
 	HTTPClient *http.Client
 	// Metrics, when non-nil, receives the mmt_cluster_* instruments.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records the router's hop spans (submit,
+	// per-try route/forward, job proxying) and serves them at GET
+	// /v1/spans. The router also pins the distributed trace id onto every
+	// submission it forwards (minting one when the client brought none),
+	// so re-routed and work-stolen jobs keep one trace id end-to-end.
+	Tracer *span.Tracer
+	// Log, when non-nil, receives structured request-scoped log lines
+	// stamped with trace/span ids. Nil discards them.
+	Log *slog.Logger
 }
 
 // nodeState is a backend's probed lifecycle position.
@@ -106,6 +118,13 @@ type placement struct {
 	at time.Time
 }
 
+// jobRoute remembers where a job landed and under which trace id, so
+// later GET/SSE proxying joins the job's trace.
+type jobRoute struct {
+	b     *backend
+	trace string
+}
+
 // Router is the fleet coordinator: an http.Handler speaking the mmtserved
 // /v1 job API that consistent-hashes each submission's task cache key
 // onto the backend ring. Construct with NewRouter; Close stops the
@@ -116,12 +135,13 @@ type Router struct {
 	mux   *http.ServeMux
 	hc    *http.Client
 	met   *routerMetrics
+	log   *slog.Logger
 	start time.Time
 
 	mu         sync.Mutex
 	backends   []*backend
 	byName     map[string]*backend
-	jobs       map[string]*backend
+	jobs       map[string]jobRoute
 	placements map[string]placement
 	counts     routerCounts
 
@@ -169,9 +189,13 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		hc:         opts.HTTPClient,
 		start:      time.Now(),
 		byName:     make(map[string]*backend),
-		jobs:       make(map[string]*backend),
+		jobs:       make(map[string]jobRoute),
 		placements: make(map[string]placement),
 		stop:       make(chan struct{}),
+	}
+	rt.log = opts.Log
+	if rt.log == nil {
+		rt.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if rt.hc == nil {
 		rt.hc = &http.Client{} // no global timeout: SSE proxying streams indefinitely
@@ -224,6 +248,9 @@ func (rt *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	if rt.opts.Tracer != nil {
+		mux.Handle("GET /v1/spans", rt.opts.Tracer)
+	}
 	return mux
 }
 
@@ -321,22 +348,70 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin the distributed trace id here, before any placement decision:
+	// an incoming traceparent wins, then the body's trace_id, then a
+	// minted id. Every forward — including re-routes after a transport
+	// failure and work-steals — then carries the same id end-to-end.
+	parent := span.Extract(r.Header)
+	if parent.TraceID == "" {
+		parent.TraceID = req.TraceID
+	}
+	sub := rt.opts.Tracer.Start(parent, "router.submit")
+	defer sub.End()
+	if req.TraceID == "" {
+		req.TraceID = sub.TraceID()
+	}
+	if req.TraceID == "" { // tracer disabled: still pin one id per submission
+		req.TraceID = span.NewTraceID()
+	}
+
 	start := time.Now()
 	// Walk candidates until one accepts: a backend that fails at the
 	// transport level is marked down (the prober will rehabilitate it)
 	// and the key re-places on the next healthy node.
 	for tries := 0; tries < len(rt.backends); tries++ {
+		rsp := rt.opts.Tracer.Start(sub.Context(), "router.route")
 		b, info, perr := rt.place(key)
 		if perr != nil {
+			rsp.SetAttr("error", perr.Error())
+			rsp.End()
+			sub.SetAttr("error", perr.Error())
 			writeError(w, http.StatusServiceUnavailable, 0, "%v", perr)
 			return
 		}
-		st, err := b.cli.Submit(r.Context(), req)
+		rsp.SetAttr("node", b.node.Name)
+		if info.pinned {
+			rsp.SetAttr("pinned", "true")
+		}
+		if info.rerouted {
+			rsp.SetAttr("rerouted", "true")
+		}
+		if info.stolen {
+			rsp.SetAttr("stolen", "true")
+		}
+		rsp.End()
+
+		fsp := rt.opts.Tracer.Start(sub.Context(), "router.forward")
+		fsp.SetAttr("node", b.node.Name)
+		ctx := r.Context()
+		if fsp != nil {
+			ctx = span.ContextWith(ctx, fsp.Context())
+		}
+		st, err := b.cli.Submit(ctx, req)
+		if err != nil {
+			fsp.SetAttr("error", err.Error())
+		}
+		fsp.End()
 		if err == nil {
-			rt.recordSubmit(b, st.ID, info)
+			rt.recordSubmit(b, st.ID, st.TraceID, info)
+			sub.SetAttr("job", st.ID)
+			sub.SetAttr("node", b.node.Name)
 			if rt.met != nil {
-				rt.met.submitLatency.Observe(time.Since(start))
+				rt.met.submitLatency.ObserveWithExemplar(time.Since(start), st.TraceID)
 			}
+			rt.log.Info("job routed", "job", st.ID, "node", b.node.Name,
+				"pinned", info.pinned, "rerouted", info.rerouted, "stolen", info.stolen,
+				"trace", st.TraceID, "span", sub.Context().SpanID)
 			w.Header().Set("Location", "/v1/jobs/"+st.ID)
 			w.Header().Set("X-MMT-Node", b.node.Name)
 			writeJSON(w, http.StatusAccepted, st)
@@ -346,6 +421,9 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &se) {
 			// The backend answered: pass its verdict (400, 429+Retry-After,
 			// 503, ...) through untouched.
+			sub.SetAttr("error", se.Message)
+			rt.log.Warn("submit refused by backend", "node", b.node.Name,
+				"status", se.Code, "error", se.Message, "trace", req.TraceID)
 			writeError(w, se.Code, se.RetryAfter, "%s", se.Message)
 			return
 		}
@@ -355,15 +433,19 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rt.countError()
 		b.markDown(err)
 		rt.dropPlacement(key, b)
+		rt.log.Warn("backend down, re-placing", "node", b.node.Name,
+			"error", err.Error(), "trace", req.TraceID)
 	}
+	sub.SetAttr("error", "all backends unreachable")
 	writeError(w, http.StatusBadGateway, 0, "all backends unreachable")
 }
 
-// recordSubmit books a successful forward: job routing, placement
-// counters, and the route-kind counters.
-func (rt *Router) recordSubmit(b *backend, jobID string, info routeInfo) {
+// recordSubmit books a successful forward: job routing (with the job's
+// trace id, for proxy spans), placement counters, and the route-kind
+// counters.
+func (rt *Router) recordSubmit(b *backend, jobID, trace string, info routeInfo) {
 	rt.mu.Lock()
-	rt.jobs[jobID] = b
+	rt.jobs[jobID] = jobRoute{b: b, trace: trace}
 	rt.counts.routed++
 	if info.rerouted {
 		rt.counts.rerouted++
@@ -404,13 +486,19 @@ func (rt *Router) dropPlacement(key string, b *backend) {
 func (rt *Router) handleJobProxy(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rt.mu.Lock()
-	b, ok := rt.jobs[id]
+	jr, ok := rt.jobs[id]
 	rt.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, 0, "no such job: %s (not routed through this router)", id)
 		return
 	}
-	b.proxy.ServeHTTP(w, r)
+	if jr.trace != "" {
+		psp := rt.opts.Tracer.Start(span.SpanContext{TraceID: jr.trace}, "router.proxy")
+		psp.SetAttr("job", id)
+		psp.SetAttr("node", jr.b.node.Name)
+		defer psp.End()
+	}
+	jr.b.proxy.ServeHTTP(w, r)
 }
 
 // RouterHealth is the GET /v1/healthz body: serve.Health-compatible, with

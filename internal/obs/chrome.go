@@ -116,6 +116,36 @@ func (s *ChromeTraceSink) ensureTrack(track int32) {
 		Args: map[string]any{"sort_index": tid(track)}})
 }
 
+// NameTrack assigns an explicit viewer name to a track, overriding the
+// "<prefix> <n>" default — mmttrace uses one named track per fleet
+// process. Calls after the track's first event (or Close) are dropped.
+func (s *ChromeTraceSink) NameTrack(track int32, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.tracks[track] {
+		return
+	}
+	s.tracks[track] = true
+	s.record(chromeRecord{Name: "thread_name", Phase: "M", TID: tid(track),
+		Args: map[string]any{"name": name}})
+	s.record(chromeRecord{Name: "thread_sort_index", Phase: "M", TID: tid(track),
+		Args: map[string]any{"sort_index": tid(track)}})
+}
+
+// Span appends an arbitrary named complete event to a track — mmttrace
+// renders stitched fleet spans through this, one track per process. ts
+// and dur are in the file's µs domain.
+func (s *ChromeTraceSink) Span(track int32, name string, ts, dur uint64, args map[string]any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.ensureTrack(track)
+	s.record(chromeRecord{Name: name, Phase: "X", TS: ts, Dur: dur,
+		TID: tid(track), Args: args})
+}
+
 // Event renders one event: counters for EvFetchMode/EvCounter, spans for
 // durations, thread-scoped instants otherwise.
 func (s *ChromeTraceSink) Event(e Event) {

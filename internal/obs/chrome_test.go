@@ -118,3 +118,32 @@ func TestChromeTraceEmpty(t *testing.T) {
 		t.Errorf("empty trace invalid: %s", buf.Bytes())
 	}
 }
+
+// TestChromeTraceNameTrack: an explicit track name must override the
+// "<prefix> <n>" default and survive a subsequent event on that track.
+func TestChromeTraceNameTrack(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeTrace(&buf, ChromeTraceConfig{Process: "mmttrace"})
+	s.NameTrack(0, "mmtrouter@127.0.0.1:8393")
+	s.NameTrack(0, "shadowed") // second call for the same track: dropped
+	s.Event(Event{TS: 10, Kind: EvJob, Track: 0, Dur: 5, Name: "router.submit"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range doc.TraceEvents {
+		if r["name"] == "thread_name" {
+			args := r["args"].(map[string]any)
+			names = append(names, args["name"].(string))
+		}
+	}
+	if len(names) != 1 || names[0] != "mmtrouter@127.0.0.1:8393" {
+		t.Errorf("thread names = %v", names)
+	}
+}

@@ -66,10 +66,21 @@ var DefBuckets = []float64{
 // lock-free atomics, so hot paths can hold histogram handles like they
 // hold counters. Construct with NewHistogram or Registry.Histogram.
 type Histogram struct {
-	bounds []float64       // sorted upper bounds; implicit +Inf after the last
-	counts []atomic.Uint64 // len(bounds)+1; counts[i] observations in (bounds[i-1], bounds[i]]
-	sum    atomic.Uint64   // math.Float64bits of the running sum in seconds
-	n      atomic.Uint64
+	bounds    []float64                  // sorted upper bounds; implicit +Inf after the last
+	counts    []atomic.Uint64            // len(bounds)+1; counts[i] observations in (bounds[i-1], bounds[i]]
+	exemplars []atomic.Pointer[exemplar] // len(bounds)+1; most recent traced observation per bucket
+	sum       atomic.Uint64              // math.Float64bits of the running sum in seconds
+	n         atomic.Uint64
+}
+
+// exemplar pairs one bucket's most recent observation with the trace id
+// that produced it, rendered in the OpenMetrics exemplar position so a
+// spiked latency bucket links to a concrete distributed trace. No
+// timestamp is kept: this package must stay clock-free (it sits in the
+// deterministic simulator's import closure).
+type exemplar struct {
+	trace string
+	value float64 // observed value in seconds
 }
 
 // NewHistogram returns a histogram over the given upper bounds (seconds,
@@ -79,14 +90,29 @@ func NewHistogram(bounds []float64) *Histogram {
 	if bounds == nil {
 		bounds = DefBuckets
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	s := d.Seconds()
+func (h *Histogram) Observe(d time.Duration) { h.observe(d.Seconds(), "") }
+
+// ObserveWithExemplar records one duration and attaches trace as the
+// receiving bucket's exemplar (most recent wins). An empty trace behaves
+// like Observe.
+func (h *Histogram) ObserveWithExemplar(d time.Duration, trace string) {
+	h.observe(d.Seconds(), trace)
+}
+
+func (h *Histogram) observe(s float64, trace string) {
 	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s, len(bounds) for +Inf
 	h.counts[i].Add(1)
+	if trace != "" {
+		h.exemplars[i].Store(&exemplar{trace: trace, value: s})
+	}
 	h.n.Add(1)
 	for {
 		old := h.sum.Load()
@@ -132,7 +158,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// writePrometheus renders the _bucket/_sum/_count series.
+// writePrometheus renders the _bucket/_sum/_count series. Buckets whose
+// exemplar slot is set carry an OpenMetrics exemplar suffix
+// ("# {trace_id=...} value"); untraced histograms render exactly as
+// before.
 func (h *Histogram) writePrometheus(w io.Writer, name, help string) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
 		return err
@@ -140,15 +169,27 @@ func (h *Histogram) writePrometheus(w io.Writer, name, help string) error {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-			name, strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+			name, strconv.FormatFloat(b, 'g', -1, 64), cum, h.exemplarSuffix(i)); err != nil {
 			return err
 		}
 	}
 	total := h.n.Load()
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-		name, total, name, h.Sum(), name, total)
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %g\n%s_count %d\n",
+		name, total, h.exemplarSuffix(len(h.bounds)), name, h.Sum(), name, total)
 	return err
+}
+
+// exemplarSuffix renders bucket i's exemplar, "" when none recorded.
+func (h *Histogram) exemplarSuffix(i int) string {
+	if h.exemplars == nil {
+		return ""
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g", ex.trace, ex.value)
 }
 
 // metricKind tags a registry entry for rendering.

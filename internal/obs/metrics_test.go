@@ -126,6 +126,32 @@ func TestRegistryHistogramExposition(t *testing.T) {
 	}
 }
 
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mmt_test_exlat", "Latency.")
+	h.Observe(3 * time.Millisecond) // untraced: no exemplar on this bucket
+	h.ObserveWithExemplar(700*time.Millisecond, "load-5-0")
+	h.ObserveWithExemplar(800*time.Millisecond, "t-j000001-17") // same bucket: most recent wins
+	h.ObserveWithExemplar(40*time.Millisecond, "")              // empty trace: plain observation
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `mmt_test_exlat_bucket{le="1"} 4 # {trace_id="t-j000001-17"} 0.8`) {
+		t.Errorf("exposition missing winning exemplar:\n%s", out)
+	}
+	if strings.Contains(out, "load-5-0") {
+		t.Errorf("overwritten exemplar still rendered:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.005"`) && strings.Contains(line, "#") {
+			t.Errorf("untraced bucket grew an exemplar: %s", line)
+		}
+	}
+}
+
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("mmt_test_served_total", "Requests.").Inc()

@@ -23,10 +23,12 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 	"mmt/internal/sim"
 )
 
@@ -93,6 +95,12 @@ type Options struct {
 	// TraceSampleEvery is the utilization sampling period for Trace
 	// (default 250ms).
 	TraceSampleEvery time.Duration
+	// Tracer, when non-nil, records distributed spans for jobs that carry
+	// a span parent or a correlation id (sim.Task.SpanParent / TraceID):
+	// pool queue wait, cache probes (local and remote tiers), the
+	// execution with its sim build/run phases, and the store-through.
+	// Untraced jobs record nothing.
+	Tracer *span.Tracer
 	// OnComplete, when non-nil, is called once per job when its outcome
 	// becomes final — after the result is recorded but before waiters
 	// blocked in Do unblock, so a caller that observes Do returning is
@@ -336,6 +344,20 @@ func (p *Pool) watchCancel() {
 	}
 }
 
+// spanParent resolves a job's distributed-span parent: the serving
+// layer's serialized traceparent when present, else the bare correlation
+// id (locally traced jobs root their own subtree). Zero for untraced
+// jobs, which suppresses every runner span.
+func (j *job) spanParent() span.SpanContext {
+	if parent := span.Parse(j.task.SpanParent); parent.TraceID != "" {
+		return parent
+	}
+	if j.task.TraceID != "" {
+		return span.SpanContext{TraceID: j.task.TraceID}
+	}
+	return span.SpanContext{}
+}
+
 // run executes one job on worker wid: cache lookup, bounded attempts,
 // cache store.
 func (p *Pool) run(j *job, wid int) {
@@ -343,6 +365,16 @@ func (p *Pool) run(j *job, wid int) {
 		p.finish(j, nil, false, 0, err)
 		return
 	}
+	tracer := p.opts.Tracer
+	parent := j.spanParent()
+	if parent.TraceID == "" {
+		tracer = nil
+	}
+	// The schedule span back-dates to enqueue time: its duration IS the
+	// pool's queue wait for this job.
+	tracer.StartAt(parent, "runner.schedule", j.enqueuedAt).End()
+
+	csp := tracer.Start(parent, "runner.cache")
 	if p.cache != nil {
 		out, ok, invalidated := p.cache.load(j.key, j.task)
 		if invalidated {
@@ -354,27 +386,51 @@ func (p *Pool) run(j *job, wid int) {
 			}
 		}
 		if ok {
+			csp.SetAttr("local", "hit")
+			csp.End()
 			p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvCacheHit,
 				Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
 			p.finish(j, out, true, 0, nil)
 			return
 		}
+		csp.SetAttr("local", "miss")
 		if p.met != nil {
 			p.met.cacheMisses.Inc()
 		}
+	} else {
+		csp.SetAttr("local", "off")
 	}
-	if out, ok := p.remoteLoad(j); ok {
+	if out, ok := p.remoteLoad(j, csp.Context()); ok {
+		csp.SetAttr("remote", "hit")
+		csp.End()
 		p.traceEvent(obs.Event{TS: p.sinceStart(time.Now()), Kind: obs.EvCacheHit,
 			Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
 		p.finish(j, out, true, 0, nil)
 		return
+	}
+	if p.opts.RemoteCache != nil {
+		csp.SetAttr("remote", "miss")
+	}
+	csp.End()
+
+	esp := tracer.Start(parent, "runner.exec")
+	task := j.task
+	if esp != nil {
+		esp.SetAttr("worker", strconv.Itoa(wid))
+		esp.SetAttr("name", task.Name())
+		// Bridge the simulator's phase observer onto exec-span children,
+		// so the waterfall decomposes exec into sim.build and sim.run.
+		execCtx := esp.Context()
+		task.Phase = func(name string) func() {
+			return tracer.Start(execCtx, "sim."+name).End
+		}
 	}
 	start := time.Now()
 	var out *sim.Outcome
 	var err error
 	retries := 0
 	for attempt := 0; ; attempt++ {
-		out, err = p.attempt(j.task)
+		out, err = p.attempt(task)
 		if err == nil || attempt >= p.opts.Retries || p.ctx.Err() != nil {
 			break
 		}
@@ -389,11 +445,20 @@ func (p *Pool) run(j *job, wid int) {
 			Track: int32(wid), Name: j.task.Name(), Trace: j.task.TraceID})
 	}
 	dur := time.Since(start)
+	if retries > 0 {
+		esp.SetAttr("retries", strconv.Itoa(retries))
+	}
+	if err != nil {
+		esp.SetAttr("error", err.Error())
+	}
+	esp.End()
 	p.traceEvent(obs.Event{TS: p.sinceStart(start), Kind: obs.EvJob, Track: int32(wid),
 		Name: j.task.Name(), Dur: uint64(dur.Microseconds()), Arg: uint64(retries),
 		Trace: j.task.TraceID})
 	if err == nil {
-		p.storeOutcome(j, out)
+		ssp := tracer.Start(parent, "runner.store")
+		p.storeOutcome(j, out, ssp.Context())
+		ssp.End()
 	}
 	p.finish(j, out, false, dur, err)
 }
@@ -401,8 +466,9 @@ func (p *Pool) run(j *job, wid int) {
 // storeOutcome persists a freshly simulated outcome: into the local disk
 // cache, and through to the remote shared tier when one is configured.
 // Both writes are best-effort — a failed store only costs a future
-// re-simulation.
-func (p *Pool) storeOutcome(j *job, out *sim.Outcome) {
+// re-simulation. sc rides the remote store's context so mmtcached can
+// record its side of the hop.
+func (p *Pool) storeOutcome(j *job, out *sim.Outcome, sc span.SpanContext) {
 	var raw []byte
 	if p.cache != nil {
 		var err error
@@ -422,7 +488,7 @@ func (p *Pool) storeOutcome(j *job, out *sim.Outcome) {
 			return
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), p.opts.RemoteTimeout)
+	ctx, cancel := context.WithTimeout(span.ContextWith(context.Background(), sc), p.opts.RemoteTimeout)
 	defer cancel()
 	if err := p.opts.RemoteCache.Store(ctx, j.key, raw); err != nil {
 		if p.opts.Progress != nil {
@@ -438,11 +504,12 @@ func (p *Pool) storeOutcome(j *job, out *sim.Outcome) {
 // remoteLoad consults the remote shared cache tier after a local miss.
 // Hits are validated like disk entries and copied into the local cache,
 // so the next restart answers locally; any error degrades into a miss.
-func (p *Pool) remoteLoad(j *job) (*sim.Outcome, bool) {
+// sc rides the request context so mmtcached can record its side.
+func (p *Pool) remoteLoad(j *job, sc span.SpanContext) (*sim.Outcome, bool) {
 	if p.opts.RemoteCache == nil {
 		return nil, false
 	}
-	ctx, cancel := context.WithTimeout(p.ctx, p.opts.RemoteTimeout)
+	ctx, cancel := context.WithTimeout(span.ContextWith(p.ctx, sc), p.opts.RemoteTimeout)
 	defer cancel()
 	raw, ok, err := p.opts.RemoteCache.Load(ctx, j.key)
 	if err != nil || !ok {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"mmt/internal/obs/span"
 	"mmt/internal/sim"
 )
 
@@ -40,6 +41,11 @@ type flight struct {
 	index    int    // heap position; -1 once dispatched
 	running  bool
 	jobs     []*Job
+	// span covers admission to resolution in the creator's trace; dedup
+	// joiners link to it from their own traces. queueSpan covers the
+	// admission-to-dispatch wait. Both are nil without a tracer.
+	span      *span.Span
+	queueSpan *span.Span
 }
 
 // flightQueue is a max-heap: higher priority first, then earlier
@@ -95,9 +101,10 @@ func (s *Server) queuePositionLocked(key string) int {
 	return rank
 }
 
-// submit admits, deduplicates, or rejects one submission. A *httpError
-// return carries the status code (and Retry-After for 429).
-func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
+// submit admits, deduplicates, or rejects one submission. parent is the
+// handler's span context (zero without a tracer). A *httpError return
+// carries the status code (and Retry-After for 429).
+func (s *Server) submit(req SubmitRequest, parent span.SpanContext) (JobStatus, *httpError) {
 	if err := validateTraceID(req.TraceID); err != nil {
 		return JobStatus{}, badRequest("%v", err)
 	}
@@ -139,6 +146,15 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
 	if f, ok := s.flights[key]; ok {
 		j := s.newJobLocked(task, req.Task, key, req.Priority, deadline, true, req.TraceID, now)
 		f.jobs = append(f.jobs, j)
+		// The joiner's trace records a serve.join span linked to the
+		// creator's flight span: mmttrace chases that edge to show which
+		// execution this submission actually rode.
+		if jsp := s.opts.Tracer.Start(parent, "serve.join"); jsp != nil {
+			jsp.SetAttr("job", j.id)
+			jsp.SetAttr("creator_trace", f.task.TraceID)
+			jsp.Link(f.span.Context())
+			jsp.End()
+		}
 		if j.priority > f.priority {
 			f.priority = j.priority
 			if f.index >= 0 {
@@ -175,6 +191,9 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, *httpError) {
 	// joiners share the creator's timeline (they share its simulation).
 	task.TraceID = j.traceID
 	f := &flight{key: key, task: task, priority: req.Priority, seq: s.seq, jobs: []*Job{j}}
+	f.span = s.opts.Tracer.Start(parent, "serve.flight")
+	f.span.SetAttr("job", j.id)
+	f.queueSpan = s.opts.Tracer.Start(f.span.Context(), "serve.queue")
 	s.flights[key] = f
 	heap.Push(&s.queue, f)
 	s.admitted++
@@ -219,6 +238,7 @@ func (s *Server) dispatch() {
 		}
 		f := s.popFlightLocked()
 		f.running = true
+		f.queueSpan.End()
 		now := time.Now()
 		live := 0
 		for _, j := range f.jobs {
@@ -245,6 +265,11 @@ func (s *Server) dispatch() {
 		if s.met != nil {
 			s.met.running.Add(1)
 		}
+		// The execution span parents everything the runner and simulator
+		// record for this flight; its context rides the task over the
+		// pool boundary in serialized traceparent form.
+		esp := s.opts.Tracer.Start(f.span.Context(), "serve.exec")
+		f.task.SpanParent = esp.Context().Traceparent()
 		started := time.Now()
 		out, err := s.pool.Do(f.task)
 		dur := time.Since(started)
@@ -261,6 +286,11 @@ func (s *Server) dispatch() {
 		if haveComp && !comp.FromCache {
 			source = "simulated"
 		}
+		esp.SetAttr("source", source)
+		if err != nil {
+			esp.SetAttr("error", err.Error())
+		}
+		esp.End()
 		var raw []byte
 		if err == nil {
 			raw, err = sim.MarshalOutcome(out)
@@ -292,6 +322,14 @@ func (s *Server) dispatch() {
 func (s *Server) resolveFlightLocked(f *flight, raw []byte, err error, source string, now time.Time) {
 	delete(s.flights, f.key)
 	s.admitted--
+	f.queueSpan.End() // idempotent; covers never-dispatched flights
+	if source != "" {
+		f.span.SetAttr("source", source)
+	}
+	if err != nil {
+		f.span.SetAttr("error", err.Error())
+	}
+	f.span.End()
 	for _, j := range f.jobs {
 		if j.state.Terminal() {
 			continue
@@ -313,7 +351,7 @@ func (s *Server) resolveFlightLocked(f *flight, raw []byte, err error, source st
 				s.met.completed.Inc()
 			}
 		}
-		s.jobLatency.Observe(now.Sub(j.submitted))
+		s.jobLatency.ObserveWithExemplar(now.Sub(j.submitted), j.traceID)
 		close(j.done)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"time"
 
+	"mmt/internal/obs/span"
 	"mmt/internal/serve"
 	"mmt/internal/sim"
 )
@@ -26,6 +27,13 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// Tracer, when non-nil, opens a client-side root span per Submit/Run
+	// (named "client.submit", in the submission's trace when it carries a
+	// trace id) so the waterfall starts at the caller. Independently of
+	// the tracer, any span context already on the request context is
+	// always propagated as a traceparent header.
+	Tracer *span.Tracer
 
 	// Retries is how many extra attempts a retryable request gets
 	// (default 4). 429, 5xx and transport errors are retryable; other 4xx
@@ -120,6 +128,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if sc, ok := span.FromContext(ctx); ok {
+			span.Inject(req.Header, sc)
+		}
 		var retryAfter time.Duration
 		resp, err := c.http.Do(req)
 		if err != nil {
@@ -177,11 +188,31 @@ func errorMessage(b []byte) string {
 	return string(bytes.TrimSpace(b))
 }
 
+// startSpan opens a client-side root span for a submission when the
+// client has a tracer and ctx does not already carry a span (an embedder
+// with its own tracing wins). The returned ctx propagates the context;
+// end is nil-safe.
+func (c *Client) startSpan(ctx context.Context, name, trace string) (context.Context, *span.Span) {
+	if c.Tracer == nil {
+		return ctx, nil
+	}
+	if _, ok := span.FromContext(ctx); ok {
+		return ctx, nil
+	}
+	sp := c.Tracer.Start(span.SpanContext{TraceID: trace}, name)
+	return span.ContextWith(ctx, sp.Context()), sp
+}
+
 // Submit posts a job. Safe to retry: identical submissions share one
 // simulation server-side.
 func (c *Client) Submit(ctx context.Context, req serve.SubmitRequest) (serve.JobStatus, error) {
+	ctx, sp := c.startSpan(ctx, "client.submit", req.TraceID)
+	defer sp.End()
 	var st serve.JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	if sp != nil && err == nil {
+		sp.SetAttr("job", st.ID)
+	}
 	return st, err
 }
 

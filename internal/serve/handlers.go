@@ -6,6 +6,8 @@ import (
 	"math"
 	"net/http"
 	"time"
+
+	"mmt/internal/obs/span"
 )
 
 // httpError is a handler failure carrying its status code and, for 429,
@@ -56,6 +58,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.opts.Tracer != nil {
+		mux.Handle("GET /v1/spans", s.opts.Tracer)
+	}
 	return mux
 }
 
@@ -67,11 +72,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, badRequest("decoding request: %v", err))
 		return
 	}
-	st, herr := s.submit(req)
+	// Unify the span trace with the job's correlation id: an incoming
+	// traceparent header wins, then the body's trace_id; with a tracer and
+	// neither, mint one and stamp it back into the job so mmttrace can
+	// find it by the id the client sees.
+	parent := span.Extract(r.Header)
+	if parent.TraceID == "" {
+		parent.TraceID = req.TraceID
+	}
+	sp := s.opts.Tracer.Start(parent, "serve.submit")
+	if req.TraceID == "" {
+		req.TraceID = sp.TraceID()
+	}
+	st, herr := s.submit(req, sp.Context())
 	if herr != nil {
+		sp.SetAttr("error", herr.msg)
+		sp.End()
+		s.log.Warn("submit rejected", "status", herr.status, "error", herr.msg,
+			"trace", req.TraceID, "span", sp.Context().SpanID)
 		writeHTTPError(w, herr)
 		return
 	}
+	sp.SetAttr("job", st.ID)
+	if st.Dedup {
+		sp.SetAttr("dedup", "true")
+	}
+	sp.End()
+	s.log.Info("job submitted", "job", st.ID, "state", st.State, "dedup", st.Dedup,
+		"priority", st.Priority, "trace", st.TraceID, "span", sp.Context().SpanID)
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }

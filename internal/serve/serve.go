@@ -32,11 +32,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/span"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
 )
@@ -75,6 +78,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the serving counters, queue depth
 	// gauge and latency histograms for the /metrics endpoint.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records distributed spans for every hop of a
+	// job's life (admission, queueing, dedup joins, execution) and serves
+	// them at GET /v1/spans. It is shared with the runner pool unless the
+	// pool brings its own. Span trace ids unify with job trace ids: an
+	// incoming traceparent header wins, then the submission's trace_id,
+	// then a minted id stamped back into the job.
+	Tracer *span.Tracer
+	// Log, when non-nil, receives structured request-scoped log lines
+	// stamped with trace/span ids. Nil discards them.
+	Log *slog.Logger
 }
 
 // Server is the job server. It implements http.Handler; the caller owns
@@ -85,6 +98,7 @@ type Server struct {
 	mux   *http.ServeMux
 	met   *metrics
 	pre   *prechecker // non-nil when Options.Precheck is set
+	log   *slog.Logger
 	start time.Time
 
 	// reqLatency and jobLatency always exist (registered when a registry
@@ -141,9 +155,16 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	if opts.Metrics != nil && opts.Runner.Metrics == nil {
 		opts.Runner.Metrics = opts.Metrics
 	}
+	if opts.Tracer != nil && opts.Runner.Tracer == nil {
+		opts.Runner.Tracer = opts.Tracer
+	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 
 	s := &Server{
 		opts:        opts,
+		log:         opts.Log,
 		start:       time.Now(),
 		jobs:        make(map[string]*Job),
 		flights:     make(map[string]*flight),
@@ -186,11 +207,13 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP serves the API, observing per-request latency.
+// ServeHTTP serves the API, observing per-request latency. Requests that
+// arrive with a trace context leave their trace id as the latency
+// bucket's exemplar, so a spiked bucket names a concrete trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mux.ServeHTTP(w, r)
-	s.reqLatency.Observe(time.Since(start))
+	s.reqLatency.ObserveWithExemplar(time.Since(start), span.Extract(r.Header).TraceID)
 }
 
 // Pool exposes the underlying runner pool (its Summary feeds /v1/stats).

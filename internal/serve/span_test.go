@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"mmt/internal/obs/span"
+	"mmt/internal/runner"
+)
+
+// names collects the distinct span names in a record set.
+func names(recs []span.Record) map[string]bool {
+	out := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		out[r.Name] = true
+	}
+	return out
+}
+
+// find returns the first record with the given name, failing the test
+// when absent.
+func find(t *testing.T, recs []span.Record, name string) span.Record {
+	t.Helper()
+	for _, r := range recs {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no %q span in %d records", name, len(recs))
+	return span.Record{}
+}
+
+// TestSubmitSpansFullChain: one traced submission produces the whole hop
+// chain — admission, flight, queue wait, dispatch, runner scheduling and
+// cache probe, execution with the simulator's build/run phases — all in
+// the submission's trace, stitched into a single tree under serve.submit.
+func TestSubmitSpansFullChain(t *testing.T) {
+	tracer := span.NewTracer("test-node", 256)
+	_, hs := startServer(t, Options{
+		Runner: runner.Options{Workers: 1},
+		Tracer: tracer,
+	})
+
+	st, resp := postJob(t, hs.URL, SubmitRequest{Task: cheapSpec(20000), TraceID: "tr-chain-1"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if st.TraceID != "tr-chain-1" {
+		t.Fatalf("trace id = %q, want the client's", st.TraceID)
+	}
+	waitDone(t, hs.URL, st.ID)
+
+	recs := tracer.Records("tr-chain-1")
+	got := names(recs)
+	for _, want := range []string{
+		"serve.submit", "serve.flight", "serve.queue", "serve.exec",
+		"runner.schedule", "runner.cache", "runner.exec",
+		"sim.build", "sim.run", "runner.store",
+	} {
+		if !got[want] {
+			t.Errorf("missing %q span (have %v)", want, got)
+		}
+	}
+
+	// The chain stitches into trees whose children never start before
+	// their parent (all spans share this process's clock).
+	tree := span.Stitch(recs)
+	tree.Walk(func(n *span.Node, _ int) {
+		for _, c := range n.Children {
+			if c.StartUNS < n.StartUNS {
+				t.Errorf("span %s starts %dns before its parent %s", c.Name, n.StartUNS-c.StartUNS, n.Name)
+			}
+		}
+	})
+	// sim phases hang off the execution span, which hangs off serve.exec.
+	if b := find(t, recs, "sim.build"); b.ParentID != find(t, recs, "runner.exec").SpanID {
+		t.Errorf("sim.build parent = %s, want the runner.exec span", b.ParentID)
+	}
+	if e := find(t, recs, "runner.exec"); e.ParentID != find(t, recs, "serve.exec").SpanID {
+		t.Errorf("runner.exec parent = %s, want the serve.exec span", e.ParentID)
+	}
+
+	// The ring is served over HTTP for mmttrace to fetch.
+	sr, err := span.FetchSpans(context.Background(), nil, hs.URL, "tr-chain-1")
+	if err != nil {
+		t.Fatalf("GET /v1/spans: %v", err)
+	}
+	if sr.Service != "test-node" || len(sr.Spans) != len(recs) {
+		t.Errorf("served %d spans for %q, want %d for test-node", len(sr.Spans), sr.Service, len(recs))
+	}
+}
+
+// TestDedupJoinerSpanLinksCreator: a submission that joins an in-flight
+// identical job records a serve.join span in its own trace, linked to the
+// creator's flight span — the edge mmttrace follows so the joined trace
+// shows the execution that actually produced its result.
+func TestDedupJoinerSpanLinksCreator(t *testing.T) {
+	resolve, _, _, release := gatedResolve(t)
+	tracer := span.NewTracer("test-node", 256)
+	_, hs := startServer(t, Options{
+		Runner:  runner.Options{Workers: 1},
+		Resolve: resolve,
+		Tracer:  tracer,
+	})
+
+	spec := cheapSpec(20000)
+	creator, resp := postJob(t, hs.URL, SubmitRequest{Task: spec, TraceID: "tr-creator"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("creator submit: %s", resp.Status)
+	}
+	joiner, resp := postJob(t, hs.URL, SubmitRequest{Task: spec, TraceID: "tr-joiner"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("joiner submit: %s", resp.Status)
+	}
+	if !joiner.Dedup {
+		t.Fatal("second submission did not join the in-flight job")
+	}
+	release()
+	waitDone(t, hs.URL, creator.ID)
+	waitDone(t, hs.URL, joiner.ID)
+
+	flight := find(t, tracer.Records("tr-creator"), "serve.flight")
+	join := find(t, tracer.Records("tr-joiner"), "serve.join")
+	if join.LinkTrace != "tr-creator" || join.LinkSpan != flight.SpanID {
+		t.Errorf("joiner links %s@%s, want %s@tr-creator", join.LinkSpan, join.LinkTrace, flight.SpanID)
+	}
+	if join.Attrs["creator_trace"] != "tr-creator" {
+		t.Errorf("joiner creator_trace attr = %q", join.Attrs["creator_trace"])
+	}
+	if join.Attrs["job"] != joiner.ID {
+		t.Errorf("joiner job attr = %q, want its own job %s", join.Attrs["job"], joiner.ID)
+	}
+
+	// Stitching both traces together keeps the joined trace's link
+	// discoverable (the creator trace present, so no dangling links).
+	both := append(tracer.Records("tr-creator"), tracer.Records("tr-joiner")...)
+	if links := span.Stitch(both).Links(); len(links) != 0 {
+		t.Errorf("combined tree still dangles links: %v", links)
+	}
+	if links := span.Stitch(tracer.Records("tr-joiner")).Links(); len(links) != 1 || links[0].TraceID != "tr-creator" {
+		t.Errorf("joiner-only tree links = %v, want one to tr-creator", links)
+	}
+}

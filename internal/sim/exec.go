@@ -76,6 +76,15 @@ type Task struct {
 	// obs events for this task (serve mints one per job; local drivers
 	// may set their own). Purely observational, NOT part of the key.
 	TraceID string
+	// SpanParent is the serialized distributed-span context ("traceparent"
+	// form) under which the runner opens its scheduling/cache/exec spans
+	// for this task. Purely observational, NOT part of the key.
+	SpanParent string
+	// Phase, when non-nil, observes the coarse execution phases: Execute
+	// calls Phase(name) entering a phase ("build", "run") and the returned
+	// func leaving it. The runner bridges it to span children. Never
+	// changes the outcome, NOT part of the key.
+	Phase func(name string) func()
 }
 
 // Outcome is a task's product: exactly one of Result (timing simulation)
@@ -170,6 +179,15 @@ func (t Task) Key() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// phase enters a named execution phase, returning the leave func (a no-op
+// without a Phase observer).
+func (t Task) phase(name string) func() {
+	if t.Phase == nil {
+		return func() {}
+	}
+	return t.Phase(name)
+}
+
 // Execute runs the task to completion on the calling goroutine.
 func (t Task) Execute() (*Outcome, error) {
 	build := t.Build
@@ -178,11 +196,15 @@ func (t Task) Execute() (*Outcome, error) {
 		build = func() (*prog.System, error) { return app.Build(threads, ident) }
 	}
 	if t.Profile {
+		leave := t.phase("build")
 		sys, err := build()
+		leave()
 		if err != nil {
 			return nil, err
 		}
+		leave = t.phase("run")
 		prof, err := trace.ProfileSystem(sys, t.MaxInsts, trace.DefaultAlignConfig())
+		leave()
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s: %w", t.Name(), err)
 		}
@@ -192,7 +214,9 @@ func (t Task) Execute() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	leave := t.phase("build")
 	sys, err := build()
+	leave()
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +232,9 @@ func (t Task) Execute() (*Outcome, error) {
 		profiler = prof.New()
 		c.AttachProbe(profiler)
 	}
+	leave = t.phase("run")
 	st, err := c.Run()
+	leave()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", t.Name(), err)
 	}
