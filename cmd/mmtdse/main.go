@@ -1,0 +1,34 @@
+// Command mmtdse explores the MMT configuration space: it sweeps the
+// declared dimensions (FHB size, fetch width, LVIP size, queue depths,
+// sync policy, cache geometry), evaluates every candidate on two
+// objectives — aggregate IPC up, energy per job down — and writes a
+// reproducible study artifact holding every evaluated point and the
+// Pareto frontier. Sampling is deterministic from the seed, the static
+// reconvergence filter discards hopeless points before they cost a
+// simulation, and evaluation runs on the in-process worker pool or a
+// live mmtserved/mmtrouter fleet — with byte-identical artifacts either
+// way.
+//
+// Usage:
+//
+//	mmtdse                                     # the default space, artifact to stdout
+//	mmtdse -space smoke -seed 7 -out study.json
+//	mmtdse -space halving -budget 40 -j 8 -cache-dir ~/.cache/mmt
+//	mmtdse -space spaces/wide.json -server http://host:8377
+//	mmtdse -resume study.json -out study.json  # continue an interrupted study
+//	mmtdse -render study.json                  # print the frontier table
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunDSE(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtdse:", err)
+		os.Exit(1)
+	}
+}

@@ -49,10 +49,11 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock timeout (0 = none)")
 		retries  = fs.Int("retries", 1, "extra attempts for a failed simulation")
 
-		benchJSON    = fs.String("bench-json", "", "write a BENCH_"+strconv.Itoa(BenchSchema)+".json performance artifact (wall time, cycles, IPC, cache hit ratio per experiment); a directory auto-names the file")
-		benchCompare = fs.String("bench-compare", "", "compare two bench-json artifacts: OLD,NEW (runs nothing else)")
-		profileOut   = fs.String("profile-out", "", "write the merged per-PC attribution profile across all timing experiments and print its top sites")
-		profileTop   = fs.Int("profile-top", 10, "sites in the printed attribution report (0 = all)")
+		benchJSON     = fs.String("bench-json", "", "write a BENCH_"+strconv.Itoa(BenchSchema)+".json performance artifact (wall time, cycles, IPC, cache hit ratio per experiment); a directory auto-names the file")
+		benchCompare  = fs.String("bench-compare", "", "compare two bench-json artifacts: OLD,NEW (runs nothing else)")
+		benchFailOver = fs.Float64("bench-fail-over", 0, "with -bench-compare: fail when any experiment's simulated cycles regress by more than this percent (0 = report only)")
+		profileOut    = fs.String("profile-out", "", "write the merged per-PC attribution profile across all timing experiments and print its top sites")
+		profileTop    = fs.Int("profile-top", 10, "sites in the printed attribution report (0 = all)")
 
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the runner's workers (open in Perfetto)")
 		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "interval between worker-utilization samples on the trace")
@@ -72,7 +73,13 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		if !ok || strings.TrimSpace(oldPath) == "" || strings.TrimSpace(newPath) == "" {
 			return runner.Summary{}, fmt.Errorf("-bench-compare wants OLD,NEW (two bench-json files)")
 		}
-		return runner.Summary{}, BenchCompare(stdout, strings.TrimSpace(oldPath), strings.TrimSpace(newPath))
+		if *benchFailOver < 0 {
+			return runner.Summary{}, fmt.Errorf("-bench-fail-over must be non-negative")
+		}
+		return runner.Summary{}, BenchCompareGate(stdout, strings.TrimSpace(oldPath), strings.TrimSpace(newPath), *benchFailOver)
+	}
+	if *benchFailOver != 0 {
+		return runner.Summary{}, fmt.Errorf("-bench-fail-over only applies with -bench-compare")
 	}
 	if err := validateTimeout(*timeout); err != nil {
 		return runner.Summary{}, err

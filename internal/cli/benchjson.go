@@ -218,6 +218,16 @@ func benchNames(f BenchFile) ([]string, map[string]BenchEntry) {
 // artifacts: per matched experiment the cycle, IPC, cache-hit-ratio and
 // wall-time movement, then the names only one side has.
 func BenchCompare(w io.Writer, oldPath, newPath string) error {
+	return BenchCompareGate(w, oldPath, newPath, 0)
+}
+
+// BenchCompareGate is BenchCompare with a regression gate: when
+// failOverPct > 0, any matched experiment whose simulated cycle count
+// grew by more than that percentage fails the comparison. The gate reads
+// cycles — a deterministic property of the simulated machine — rather
+// than wall time, so it never flakes on a slow CI host; wall movement is
+// still printed for the humans.
+func BenchCompareGate(w io.Writer, oldPath, newPath string, failOverPct float64) error {
 	of, err := readBenchFile(oldPath)
 	if err != nil {
 		return err
@@ -233,6 +243,7 @@ func BenchCompare(w io.Writer, oldPath, newPath string) error {
 	fmt.Fprintf(w, "%-28s %14s %14s %9s %8s %8s %10s\n",
 		"experiment", "cycles old", "cycles new", "delta", "ipc", "hit%", "wall ms")
 	matched := 0
+	var regressions []string
 	for _, name := range newOrder {
 		ne := newBy[name]
 		oe, ok := oldBy[name]
@@ -243,6 +254,12 @@ func BenchCompare(w io.Writer, oldPath, newPath string) error {
 		fmt.Fprintf(w, "%-28s %14d %14d %9s %+8.3f %+8.2f %+10.1f\n",
 			name, oe.Cycles, ne.Cycles, benchPctDelta(oe.Cycles, ne.Cycles),
 			ne.IPC-oe.IPC, 100*(ne.CacheHitRatio-oe.CacheHitRatio), ne.WallMS-oe.WallMS)
+		if failOverPct > 0 && oe.Cycles > 0 && ne.Cycles > oe.Cycles {
+			if pct := 100 * (float64(ne.Cycles) - float64(oe.Cycles)) / float64(oe.Cycles); pct > failOverPct {
+				regressions = append(regressions, fmt.Sprintf("%s: cycles %d -> %d (+%.1f%% > %.1f%%)",
+					name, oe.Cycles, ne.Cycles, pct, failOverPct))
+			}
+		}
 	}
 	for _, name := range newOrder {
 		if _, ok := oldBy[name]; !ok {
@@ -255,6 +272,12 @@ func BenchCompare(w io.Writer, oldPath, newPath string) error {
 		}
 	}
 	fmt.Fprintf(w, "\n%d matched, %d old, %d new\n", matched, len(oldOrder), len(newOrder))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d experiment(s) regressed beyond %.1f%% cycles", len(regressions), failOverPct)
+	}
 	return nil
 }
 

@@ -205,3 +205,53 @@ func TestRunBenchProfileOutNeedsTimingRuns(t *testing.T) {
 		t.Errorf("bench profile without timing runs: %v", err)
 	}
 }
+
+// TestBenchCompareGate: the cycle-regression gate fails only when a
+// matched experiment's cycles grow beyond the threshold, and the CLI
+// rejects a gate without a comparison.
+func TestBenchCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, cycles uint64) string {
+		f := BenchFile{Schema: BenchSchema, Experiments: []BenchEntry{
+			{Name: "libsvm/Base/2T", Key: "k1", Cycles: cycles, IPC: 2, CacheHitRatio: 0.9},
+			{Name: "twolf/Base/2T", Key: "k2", Cycles: 1000, IPC: 2, CacheHitRatio: 0.9},
+		}}
+		path := filepath.Join(dir, name)
+		if err := writeBenchJSON(path, f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 1000)
+	slower := write("slower.json", 1080) // +8%
+	faster := write("faster.json", 900)
+
+	var out bytes.Buffer
+	if err := BenchCompareGate(&out, base, slower, 5); err == nil {
+		t.Error("8% cycle regression passed a 5% gate")
+	} else if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("gate failure not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := BenchCompareGate(&out, base, slower, 10); err != nil {
+		t.Errorf("8%% regression failed a 10%% gate: %v", err)
+	}
+	if err := BenchCompareGate(&out, base, faster, 5); err != nil {
+		t.Errorf("improvement failed the gate: %v", err)
+	}
+	// Report-only mode never fails.
+	if err := BenchCompareGate(&out, base, slower, 0); err != nil {
+		t.Errorf("report-only compare failed: %v", err)
+	}
+
+	var sink bytes.Buffer
+	if _, err := runBench([]string{"-bench-compare", base + "," + slower, "-bench-fail-over", "5"}, &sink, io.Discard); err == nil {
+		t.Error("CLI gate passed a regression")
+	}
+	if _, err := runBench([]string{"-bench-fail-over", "5"}, &sink, io.Discard); err == nil {
+		t.Error("-bench-fail-over without -bench-compare accepted")
+	}
+	if _, err := runBench([]string{"-bench-compare", base + "," + slower, "-bench-fail-over", "-1"}, &sink, io.Discard); err == nil {
+		t.Error("negative -bench-fail-over accepted")
+	}
+}

@@ -191,6 +191,19 @@ func (s SyncPolicy) String() string {
 	return "?"
 }
 
+// ParseSyncPolicy resolves a policy by its String name.
+func ParseSyncPolicy(name string) (SyncPolicy, error) {
+	switch name {
+	case "fhb":
+		return SyncFHB, nil
+	case "hints":
+		return SyncHints, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("core: unknown sync policy %q (want fhb, hints or none)", name)
+}
+
 // LVIPMode selects the private-memory merged-load policy.
 type LVIPMode uint8
 

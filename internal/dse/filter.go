@@ -1,0 +1,85 @@
+package dse
+
+import (
+	"fmt"
+
+	"mmt/internal/asm"
+	"mmt/internal/sim"
+	"mmt/internal/static"
+	"mmt/internal/workloads"
+)
+
+// StaticFilter is the cheap first evaluation stage: before spending a
+// simulation on a candidate, it checks the candidate's FHB against the
+// workloads' statically predicted reconvergence spans (internal/static).
+// The FHB holds fetched blocks for the trailing thread to replay; a
+// diverged region whose span exceeds what the FHB can buffer forces a
+// refetch, so a configuration whose window covers too few of the
+// predicted spans cannot profit from MMT's sharing and is rejected
+// without touching the simulator. Analysis runs once per workload and is
+// shared by every candidate, so filtering a point costs a few integer
+// comparisons.
+type StaticFilter struct {
+	min   float64
+	spans []int64 // |reconvergence span| of every entry across the workloads
+}
+
+// NewStaticFilter statically analyzes the named workloads and returns a
+// filter rejecting points below the given coverage.
+func NewStaticFilter(apps []string, minCoverage float64) (*StaticFilter, error) {
+	f := &StaticFilter{min: minCoverage}
+	for _, name := range apps {
+		a, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("dse: unknown workload %q", name)
+		}
+		p, err := asm.Assemble(a.Name, a.Source)
+		if err != nil {
+			return nil, fmt.Errorf("dse: assembling %s: %w", a.Name, err)
+		}
+		for _, e := range static.Analyze(p).BuildReport().Reconv {
+			span := e.Span
+			if span < 0 {
+				span = -span
+			}
+			f.spans = append(f.spans, span)
+		}
+	}
+	return f, nil
+}
+
+// Coverage returns the fraction of reconvergence entries whose span fits
+// in the candidate's FHB: a span of n instructions occupies
+// ceil(n/fetchWidth) fetch-block entries. Workloads without branches
+// contribute nothing; a span-free program set covers trivially (1.0).
+func (f *StaticFilter) Coverage(o *sim.ConfigOverride) float64 {
+	if len(f.spans) == 0 {
+		return 1.0
+	}
+	fhb, width := o.FHBSize, o.FetchWidth
+	if fhb == 0 {
+		fhb = 32 // Table 4 default when the dimension is not swept
+	}
+	if width == 0 {
+		width = 8
+	}
+	covered := 0
+	for _, span := range f.spans {
+		blocks := (span + int64(width) - 1) / int64(width)
+		if blocks <= int64(fhb) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(f.spans))
+}
+
+// Reject returns a non-empty reason when the point fails the filter.
+func (f *StaticFilter) Reject(o *sim.ConfigOverride) string {
+	if f == nil || f.min <= 0 {
+		return ""
+	}
+	if cov := f.Coverage(o); cov < f.min {
+		return fmt.Sprintf("static reconvergence coverage %.3f below %.3f", cov, f.min)
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+package dse
+
+import "sort"
+
+// Objectives is one evaluated point's position in the two-objective
+// plane the explorer optimizes: throughput up, energy per unit of work
+// down — the axes of the paper's Fig. 5/6 trade-off.
+type Objectives struct {
+	// IPC is the geometric-mean aggregate IPC across the study's
+	// workloads (maximized).
+	IPC float64 `json:"ipc"`
+	// EnergyPerJob is the mean energy per committed per-thread
+	// instruction in pJ (minimized).
+	EnergyPerJob float64 `json:"energy_per_job"`
+}
+
+// Dominates reports whether a is at least as good as b in both
+// objectives and strictly better in at least one.
+func Dominates(a, b Objectives) bool {
+	if a.IPC < b.IPC || a.EnergyPerJob > b.EnergyPerJob {
+		return false
+	}
+	return a.IPC > b.IPC || a.EnergyPerJob < b.EnergyPerJob
+}
+
+// Frontier returns the indices of the non-dominated points, ascending.
+// Duplicate objective vectors are all kept (neither strictly dominates
+// the other), so ties never silently drop a configuration.
+func Frontier(objs []Objectives) []int {
+	var out []int
+	for i, a := range objs {
+		dominated := false
+		for j, b := range objs {
+			if i != j && Dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// paretoRanks peels successive frontiers: rank 0 is the frontier of the
+// whole set, rank 1 the frontier of the remainder, and so on. Successive
+// halving promotes by ascending rank.
+func paretoRanks(objs []Objectives) []int {
+	ranks := make([]int, len(objs))
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	remaining := len(objs)
+	for rank := 0; remaining > 0; rank++ {
+		// Frontier of the not-yet-ranked subset.
+		var idx []int
+		for i := range objs {
+			if ranks[i] == -1 {
+				idx = append(idx, i)
+			}
+		}
+		sub := make([]Objectives, len(idx))
+		for k, i := range idx {
+			sub[k] = objs[i]
+		}
+		for _, k := range Frontier(sub) {
+			ranks[idx[k]] = rank
+			remaining--
+		}
+	}
+	return ranks
+}
+
+// promote orders cohort members for halving promotion: ascending Pareto
+// rank, then IPC descending, energy ascending, and finally the point ID
+// (every tie-break deterministic). ids and objs are parallel.
+func promote(ids []string, objs []Objectives) []int {
+	ranks := paretoRanks(objs)
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if ranks[i] != ranks[j] {
+			return ranks[i] < ranks[j]
+		}
+		if objs[i].IPC != objs[j].IPC {
+			return objs[i].IPC > objs[j].IPC
+		}
+		if objs[i].EnergyPerJob != objs[j].EnergyPerJob {
+			return objs[i].EnergyPerJob < objs[j].EnergyPerJob
+		}
+		return ids[i] < ids[j]
+	})
+	return order
+}

@@ -1,0 +1,72 @@
+package dse
+
+// Sampling must be deterministic from (spec, seed) alone: the same study
+// command produces the same candidate sequence on every machine, which is
+// what makes study artifacts byte-identical and resume sound. math/rand
+// is deliberately avoided (its stream is not part of Go's compatibility
+// promise and the determinism linter bans it in the simulation closure);
+// a splitmix64 generator is tiny, fast and fixed forever.
+
+// splitmix64 is a deterministic 64-bit PRNG (Steele et al., "Fast
+// splittable pseudorandom number generators", OOPSLA 2014).
+type splitmix64 struct{ state uint64 }
+
+func newSplitmix64(seed uint64) *splitmix64 { return &splitmix64{state: seed} }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) by rejection (no modulo bias).
+func (s *splitmix64) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.next()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// gridOrder enumerates all n points in flat-index order (the last
+// dimension sweeps fastest; see Spec.PointAt).
+func gridOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// randomOrder is a seeded Fisher–Yates shuffle of the grid: the same
+// (n, seed) always yields the same permutation.
+func randomOrder(n int, seed uint64) []int {
+	out := gridOrder(n)
+	rng := newSplitmix64(seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// sampleOrder returns the candidate scan order for the spec's sampler.
+// Grid scans in flat-index order; random and halving scan a seeded
+// shuffle (halving's first rung is its sampling stage — promotion order
+// is then decided by results, not by the shuffle).
+func sampleOrder(s *Spec, seed uint64) []int {
+	switch s.SamplerName() {
+	case "grid":
+		return gridOrder(s.Size())
+	default: // random, halving
+		return randomOrder(s.Size(), seed)
+	}
+}

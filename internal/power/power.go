@@ -7,6 +7,10 @@
 package power
 
 import (
+	"fmt"
+	"io"
+	"sort"
+
 	"mmt/internal/cache"
 	"mmt/internal/core"
 )
@@ -159,3 +163,72 @@ var overheadKeys = []string{"rst", "fhb", "lvip", "split", "regmerge"}
 
 // cacheKeys are the memory-hierarchy structures within Detailed.
 var cacheKeys = []string{"l1i", "l1d", "l2", "dram"}
+
+// Component is one named structure's energy in a serialized breakdown.
+// Detailed returns a map, whose Go-side iteration order is random;
+// artifacts that embed energy breakdowns (mmtdse studies) serialize the
+// sorted Component form instead, so the bytes are stable across runs and
+// processes.
+type Component struct {
+	Name string  `json:"name"`
+	PJ   float64 `json:"pj"`
+}
+
+// Components renders a Detailed map as a name-sorted slice — the
+// canonical, byte-stable serialization order. Zero-energy structures are
+// kept, so two breakdowns of the same model always align entry for entry.
+func Components(detail map[string]float64) []Component {
+	out := make([]Component, 0, len(detail))
+	for name, pj := range detail { // mmtvet:ok — sorted immediately below
+		out = append(out, Component{Name: name, PJ: pj})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ComponentsMap inverts Components back into the Detailed map form; the
+// round trip Components(ComponentsMap(cs)) is the identity on canonical
+// (sorted, duplicate-free) slices.
+func ComponentsMap(cs []Component) map[string]float64 {
+	m := make(map[string]float64, len(cs))
+	for _, c := range cs {
+		m[c.Name] = c.PJ
+	}
+	return m
+}
+
+// DetailedComponents is Detailed in canonical serialized form.
+func (m *Model) DetailedComponents(st *core.Stats, ev cache.Events) []Component {
+	return Components(m.Detailed(st, ev))
+}
+
+// AddComponents accumulates one breakdown into a running total keyed by
+// structure name (for aggregating a breakdown across workloads).
+func AddComponents(total map[string]float64, cs []Component) {
+	for _, c := range cs {
+		total[c.Name] += c.PJ
+	}
+}
+
+// WriteComponents renders a breakdown for terminals, largest first with a
+// deterministic name tie-break.
+func WriteComponents(w io.Writer, cs []Component) {
+	sorted := append([]Component(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PJ != sorted[j].PJ {
+			return sorted[i].PJ > sorted[j].PJ
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	var total float64
+	for _, c := range sorted {
+		total += c.PJ
+	}
+	for _, c := range sorted {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * c.PJ / total
+		}
+		fmt.Fprintf(w, "  %-10s %14.1f pJ  %5.1f%%\n", c.Name, c.PJ, pct)
+	}
+}

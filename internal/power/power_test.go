@@ -1,11 +1,14 @@
 package power
 
 import (
+	"encoding/json"
 	"testing"
 
 	"mmt/internal/cache"
 	"mmt/internal/core"
 )
+
+func jsonBytes(v any) ([]byte, error) { return json.Marshal(v) }
 
 func sampleStats() (*core.Stats, cache.Events) {
 	st := &core.Stats{
@@ -114,6 +117,70 @@ func TestDetailedSumsToBreakdown(t *testing.T) {
 	for _, k := range []string{"fetch", "fu", "static", "predictor", "rename"} {
 		if _, ok := d[k]; !ok {
 			t.Errorf("missing structure %q", k)
+		}
+	}
+}
+
+// TestComponentsCanonical: the serialized breakdown must be name-sorted
+// (byte-stable regardless of map iteration order) and round-trip exactly
+// back to the Detailed map.
+func TestComponentsCanonical(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	d := m.Detailed(st, ev)
+
+	cs := Components(d)
+	if len(cs) != len(d) {
+		t.Fatalf("components dropped entries: %d vs %d", len(cs), len(d))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name >= cs[i].Name {
+			t.Fatalf("components not strictly name-sorted at %d: %q >= %q",
+				i, cs[i-1].Name, cs[i].Name)
+		}
+	}
+
+	// Round trip: slice -> map -> slice is the identity.
+	back := Components(ComponentsMap(cs))
+	if len(back) != len(cs) {
+		t.Fatalf("round trip changed length")
+	}
+	for i := range cs {
+		if back[i] != cs[i] {
+			t.Errorf("round trip changed entry %d: %+v vs %+v", i, back[i], cs[i])
+		}
+	}
+
+	// The map round trip preserves every value bit-exactly.
+	m2 := ComponentsMap(cs)
+	for k, v := range d {
+		if m2[k] != v {
+			t.Errorf("%s: %v != %v after round trip", k, m2[k], v)
+		}
+	}
+
+	// Serialization is deterministic across repeated renderings (the
+	// property the study artifact's byte-identity rests on).
+	json1, err1 := jsonBytes(cs)
+	json2, err2 := jsonBytes(Components(m.Detailed(st, ev)))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("marshal: %v %v", err1, err2)
+	}
+	if string(json1) != string(json2) {
+		t.Error("two renderings of the same breakdown serialized differently")
+	}
+}
+
+func TestAddComponentsAggregates(t *testing.T) {
+	m := NewModel()
+	st, ev := sampleStats()
+	cs := m.DetailedComponents(st, ev)
+	total := map[string]float64{}
+	AddComponents(total, cs)
+	AddComponents(total, cs)
+	for _, c := range cs {
+		if got := total[c.Name]; !close2(got, 2*c.PJ) {
+			t.Errorf("%s: aggregated %v, want %v", c.Name, got, 2*c.PJ)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -23,6 +24,11 @@ import (
 // the preset's Table 4/5 value in place. The overrides enter the resolved
 // configuration and therefore the task key, exactly like a Mutate closure
 // with the same effect.
+//
+// Specs are user-authored (mmtdse space files, HTTP submissions), so the
+// codec fails fast: JSON decoding rejects unknown fields, and Validate
+// rejects out-of-range values at decode/resolve time instead of letting a
+// typo silently simulate the default machine.
 type ConfigOverride struct {
 	// FHBSize overrides the Fetch History Buffer entries (Fig. 7(a) knob).
 	FHBSize int `json:"fhb_size,omitempty"`
@@ -34,6 +40,26 @@ type ConfigOverride struct {
 	// MaxInsts bounds per-thread committed instructions — the knob for
 	// cheap bounded jobs (load tests, smoke runs). 0 = no bound.
 	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// LVIPSize overrides the Load-Value-Identical-Predictor table entries
+	// (Table 4: 4096; the core rounds up to a power of two).
+	LVIPSize int `json:"lvip_size,omitempty"`
+	// Queue depths: fetch queue, issue queue, reorder buffer, load/store
+	// queue (Table 4: 32/64/256/64).
+	FetchQueue int `json:"fetch_queue,omitempty"`
+	IQSize     int `json:"iq_size,omitempty"`
+	ROBSize    int `json:"rob_size,omitempty"`
+	LSQSize    int `json:"lsq_size,omitempty"`
+	// RegMergePorts bounds register-merge value comparisons per cycle.
+	RegMergePorts int `json:"reg_merge_ports,omitempty"`
+	// SyncPolicy selects the remerge/RST-driven synchronization policy:
+	// "fhb" (the paper's mechanism), "hints" (Thread Fusion baseline) or
+	// "none". Empty keeps the preset's policy.
+	SyncPolicy string `json:"sync_policy,omitempty"`
+	// L1KB resizes both L1 caches and L2KB the shared L2 (kilobytes,
+	// power of two; Table 4: 64 and 4096). Ways and line size keep their
+	// Table 4 values.
+	L1KB int `json:"l1_kb,omitempty"`
+	L2KB int `json:"l2_kb,omitempty"`
 }
 
 // zero reports whether the override changes nothing.
@@ -41,7 +67,74 @@ func (o *ConfigOverride) zero() bool {
 	return o == nil || *o == ConfigOverride{}
 }
 
-// apply folds the overrides into a resolved configuration.
+// overrideRange bounds one integer knob: 0 always means "keep the preset
+// value"; a non-zero setting must land in [lo, hi].
+type overrideRange struct {
+	name    string
+	v       int
+	lo, hi  int
+	pow2    bool
+	applied string // extra requirement text for the error
+}
+
+// Validate rejects out-of-range knob values. It is called on every JSON
+// decode and on TaskSpec resolution, so a bad override fails at admission
+// (or space-spec load) time with a message naming the field, never
+// silently and never on a worker.
+func (o *ConfigOverride) Validate() error {
+	if o == nil {
+		return nil
+	}
+	for _, r := range []overrideRange{
+		{name: "fhb_size", v: o.FHBSize, lo: 1, hi: 1024},
+		{name: "fetch_width", v: o.FetchWidth, lo: 1, hi: 64},
+		{name: "ls_ports", v: o.LSPorts, lo: 1, hi: 16},
+		{name: "lvip_size", v: o.LVIPSize, lo: 1, hi: 1 << 20},
+		{name: "fetch_queue", v: o.FetchQueue, lo: 1, hi: 4096},
+		{name: "iq_size", v: o.IQSize, lo: 1, hi: 4096},
+		{name: "rob_size", v: o.ROBSize, lo: 1, hi: 16384},
+		{name: "lsq_size", v: o.LSQSize, lo: 1, hi: 4096},
+		{name: "reg_merge_ports", v: o.RegMergePorts, lo: 1, hi: 16},
+		{name: "l1_kb", v: o.L1KB, lo: 1, hi: 4096, pow2: true},
+		{name: "l2_kb", v: o.L2KB, lo: 64, hi: 1 << 20, pow2: true},
+	} {
+		if r.v == 0 {
+			continue
+		}
+		if r.v < r.lo || r.v > r.hi {
+			return fmt.Errorf("sim: config override %s = %d outside %d–%d", r.name, r.v, r.lo, r.hi)
+		}
+		if r.pow2 && r.v&(r.v-1) != 0 {
+			return fmt.Errorf("sim: config override %s = %d is not a power of two", r.name, r.v)
+		}
+	}
+	if o.SyncPolicy != "" {
+		if _, err := core.ParseSyncPolicy(o.SyncPolicy); err != nil {
+			return fmt.Errorf("sim: config override sync_policy: %w", err)
+		}
+	}
+	return nil
+}
+
+// UnmarshalJSON decodes an override strictly: unknown fields and
+// out-of-range values are decode-time errors. Space specs and job
+// submissions are user-authored, so a misspelled knob must not be
+// silently dropped (the simulation would quietly measure the wrong
+// machine).
+func (o *ConfigOverride) UnmarshalJSON(b []byte) error {
+	type plain ConfigOverride // no methods: avoids recursing into this decoder
+	var p plain
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return fmt.Errorf("sim: config override: %w", err)
+	}
+	*o = ConfigOverride(p)
+	return o.Validate()
+}
+
+// apply folds the overrides into a resolved configuration. The override
+// must have passed Validate; apply itself never fails.
 func (o *ConfigOverride) apply(c *core.Config) {
 	if o.FHBSize > 0 {
 		c.FHBSize = o.FHBSize
@@ -55,6 +148,36 @@ func (o *ConfigOverride) apply(c *core.Config) {
 	}
 	if o.MaxInsts > 0 {
 		c.MaxInsts = o.MaxInsts
+	}
+	if o.LVIPSize > 0 {
+		c.LVIPSize = o.LVIPSize
+	}
+	if o.FetchQueue > 0 {
+		c.FetchQueue = o.FetchQueue
+	}
+	if o.IQSize > 0 {
+		c.IQSize = o.IQSize
+	}
+	if o.ROBSize > 0 {
+		c.ROBSize = o.ROBSize
+	}
+	if o.LSQSize > 0 {
+		c.LSQSize = o.LSQSize
+	}
+	if o.RegMergePorts > 0 {
+		c.RegMergePorts = o.RegMergePorts
+	}
+	if o.SyncPolicy != "" {
+		if p, err := core.ParseSyncPolicy(o.SyncPolicy); err == nil {
+			c.Sync = p
+		}
+	}
+	if o.L1KB > 0 {
+		c.Mem.L1I.SizeBytes = o.L1KB << 10
+		c.Mem.L1D.SizeBytes = o.L1KB << 10
+	}
+	if o.L2KB > 0 {
+		c.Mem.L2.SizeBytes = o.L2KB << 10
 	}
 }
 
@@ -115,6 +238,11 @@ func (s TaskSpec) Task() (Task, error) {
 		Attribution: s.Attribution,
 	}
 	if ov := s.Config; !ov.zero() {
+		// Validate here too: specs built in-process never pass through the
+		// strict JSON decoder.
+		if err := ov.Validate(); err != nil {
+			return Task{}, err
+		}
 		o := *ov // copy, so the closure does not alias caller memory
 		t.Mutate = o.apply
 	}

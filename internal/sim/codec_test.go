@@ -101,6 +101,92 @@ func TestTaskSpecRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestConfigOverrideRejectsUnknownFields: space specs and submissions are
+// user-authored, so a misspelled knob must be a decode error, not a
+// silently ignored field simulating the default machine.
+func TestConfigOverrideRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"fhb_sz": 64}`,                  // typo
+		`{"fhb_size": 64, "bogus": true}`, // extra field
+		`{"FHBSize": 64}`,                 // Go name instead of wire name
+	}
+	for _, c := range cases {
+		var o ConfigOverride
+		if err := json.Unmarshal([]byte(c), &o); err == nil {
+			t.Errorf("decoded %s without error", c)
+		}
+	}
+	// The rejection must hold when the override is nested in a TaskSpec —
+	// the path every wire submission takes.
+	var spec TaskSpec
+	bad := `{"app":"libsvm","config":{"fhb_size":64,"fetch_widht":4}}`
+	if err := json.Unmarshal([]byte(bad), &spec); err == nil {
+		t.Error("TaskSpec decoded an override with an unknown field")
+	}
+}
+
+// TestConfigOverrideRejectsOutOfRange: negative or absurd knob values fail
+// at decode time with the field named.
+func TestConfigOverrideRejectsOutOfRange(t *testing.T) {
+	cases := []string{
+		`{"fhb_size": -1}`,
+		`{"fhb_size": 4096}`,
+		`{"fetch_width": -8}`,
+		`{"fetch_width": 1000}`,
+		`{"ls_ports": 17}`,
+		`{"lvip_size": -4}`,
+		`{"fetch_queue": -1}`,
+		`{"iq_size": 100000}`,
+		`{"rob_size": -256}`,
+		`{"lsq_size": 1000000}`,
+		`{"reg_merge_ports": -2}`,
+		`{"sync_policy": "speculative"}`,
+		`{"l1_kb": 48}`,    // not a power of two
+		`{"l2_kb": -1024}`, // negative
+		`{"l2_kb": 4}`,     // below the minimum L2
+	}
+	for _, c := range cases {
+		var o ConfigOverride
+		if err := json.Unmarshal([]byte(c), &o); err == nil {
+			t.Errorf("decoded %s without error", c)
+		}
+	}
+	// In-process construction skips the JSON decoder; TaskSpec resolution
+	// must apply the same validation.
+	spec := TaskSpec{App: "libsvm", Config: &ConfigOverride{FHBSize: -3}}
+	if _, err := spec.Task(); err == nil {
+		t.Error("TaskSpec resolved a negative fhb_size")
+	}
+}
+
+// TestConfigOverrideAppliesNewKnobs: each new knob must land in the
+// resolved configuration (a knob that validates but does not apply would
+// silently sweep nothing).
+func TestConfigOverrideAppliesNewKnobs(t *testing.T) {
+	spec := TaskSpec{App: "libsvm", Config: &ConfigOverride{
+		LVIPSize: 1024, FetchQueue: 16, IQSize: 32, ROBSize: 128,
+		LSQSize: 32, RegMergePorts: 4, SyncPolicy: "hints", L1KB: 32, L2KB: 2048,
+	}}
+	task, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := task.ResolvedConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LVIPSize != 1024 || cfg.FetchQueue != 16 || cfg.IQSize != 32 ||
+		cfg.ROBSize != 128 || cfg.LSQSize != 32 || cfg.RegMergePorts != 4 {
+		t.Errorf("queue/table knobs not applied: %+v", cfg)
+	}
+	if cfg.Sync != core.SyncHints {
+		t.Errorf("sync policy not applied: %v", cfg.Sync)
+	}
+	if cfg.Mem.L1I.SizeBytes != 32<<10 || cfg.Mem.L1D.SizeBytes != 32<<10 || cfg.Mem.L2.SizeBytes != 2048<<10 {
+		t.Errorf("cache geometry not applied: %+v", cfg.Mem)
+	}
+}
+
 func TestOutcomeCodecRoundTrip(t *testing.T) {
 	spec := TaskSpec{App: "libsvm", Preset: PresetBase, Threads: 2,
 		Config: &ConfigOverride{MaxInsts: 20000}}
