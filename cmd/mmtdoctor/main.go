@@ -1,0 +1,42 @@
+// Command mmtdoctor is the fleet diagnostician. One invocation sweeps
+// every process in an mmt fleet — the router, each mmtserved node its
+// /v1/cluster reports, and any extra -sources such as an mmtcached — and
+// pulls each one's always-on diagnostics surface into a bundle directory:
+//
+//   - the flight-recorder ring (recent events, admissions, completions,
+//     spans, log lines and captured panics),
+//   - the span ring, with the slowest recent traces stitched fleet-wide,
+//   - the in-process metrics time series,
+//   - the continuous profiler's CPU/heap/goroutine captures, with recent
+//     CPU windows merged into a top-frames report,
+//   - the node's resolved configuration.
+//
+// It then prints a triage report: which metrics moved during the window,
+// the slowest traces and where their time went, what was hot on-CPU, and
+// any recorded panics.
+//
+// Usage:
+//
+//	mmtdoctor -server http://host:8378 -out bundle/      # sweep + bundle
+//	mmtdoctor -server http://host:8378                   # triage only
+//	mmtdoctor -watch -max-job-p99 2s -max-queue 64       # exit 1 on breach
+//	mmtdoctor -from-dump /tmp/mmt-flight-*.json          # render a dump
+//
+// A node killed with SIGQUIT writes its flight ring to disk first;
+// -from-dump renders that file, so the last seconds before the kill stay
+// readable with no process left to query.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mmt/internal/cli"
+)
+
+func main() {
+	if err := cli.RunDoctor(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtdoctor:", err)
+		os.Exit(1)
+	}
+}

@@ -61,6 +61,7 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		precheck    = fs.Bool("precheck", false, "statically analyze every workload program first (mmtcheck) and refuse to run on error findings")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	flf := addFlightFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return runner.Summary{}, err
 	}
@@ -141,6 +142,16 @@ func runBench(args []string, stdout, progress io.Writer) (runner.Summary, error)
 		opts.Trace = rec
 		opts.TraceSampleEvery = *sampleEvery
 		closeTrace = closeSinks
+	}
+	// The always-on flight recorder rides the pool's job timeline; a
+	// captured worker panic or SIGQUIT dumps the ring to disk.
+	fl, dumpDir := flf.build("mmtbench", progress)
+	opts.Flight = fl
+	opts.FlightDumpDir = dumpDir
+	if opts.Trace != nil {
+		opts.Trace = obs.Multi(opts.Trace, fl)
+	} else {
+		opts.Trace = fl
 	}
 	// -bench-json and -profile-out observe the experiment stream through a
 	// wrapping executor; its completion hook must be installed before the

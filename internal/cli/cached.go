@@ -39,6 +39,7 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	logf := addLogFlags(fs)
+	dbg := addDebugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,8 +56,10 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 	}
 
 	opts := cluster.CacheServerOptions{Dir: *dir, MaxBytes: *maxBytes}
+	// The registry always exists: /metrics rides the main port for
+	// mmtdoctor, and -metrics-addr additionally serves it on a side port.
+	opts.Metrics = obs.NewRegistry()
 	if *metricsAddr != "" {
-		opts.Metrics = obs.NewRegistry()
 		msrv, err := serveMetrics(*metricsAddr, opts.Metrics, progress)
 		if err != nil {
 			return err
@@ -69,8 +72,14 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 	if err != nil {
 		return err
 	}
-	opts.Tracer = span.NewTracer("mmtcached@"+ln.Addr().String(), span.DefaultCapacity)
+	service := "mmtcached@" + ln.Addr().String()
+	opts.Tracer = span.NewTracer(service, span.DefaultCapacity)
+	st := dbg.build(service, fs, opts.Metrics, opts.Tracer, logger, progress)
+	defer st.Close()
+	logger = st.Wrap(logger)
 	opts.Log = logger.With("service", "mmtcached")
+	opts.Flight = st.Flight
+	opts.Debug = st.Handler
 	srv, err := cluster.NewCacheServer(opts)
 	if err != nil {
 		ln.Close()
@@ -80,6 +89,7 @@ func runCached(args []string, stdout, progress io.Writer, ready func(addr string
 	if progress != nil {
 		fmt.Fprintf(progress, "mmtcached %s serving on http://%s/v1/cache (%d entries, %d bytes)\n",
 			Version(), ln.Addr(), srv.Store().Len(), srv.Store().Bytes())
+		st.announce(progress, ln.Addr().String())
 	}
 	if ready != nil {
 		ready(ln.Addr().String())

@@ -45,12 +45,17 @@ func runDSE(args []string, stdout, progress io.Writer) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve live mmt_dse_* metrics, expvar and pprof on this address")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *version {
 		printVersion(stdout, "mmtdse")
 		return nil
+	}
+	logger, err := logf.logger(progress)
+	if err != nil {
+		return err
 	}
 	if *render != "" {
 		st, err := dse.LoadStudy(*render)
@@ -89,6 +94,7 @@ func runDSE(args []string, stdout, progress io.Writer) error {
 		Workloads:      appList,
 		Concurrency:    *jobs,
 		Progress:       progress,
+		Log:            logger.With("service", "mmtdse"),
 		CheckpointPath: *out,
 	}
 	if *metricsAddr != "" {

@@ -56,6 +56,7 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		profileTop  = fs.Int("profile-top", 5, "sites in the printed attribution summary (0 = all)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +64,11 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 		printVersion(stdout, "mmtload")
 		return nil
 	}
+	logger, err := logf.logger(progress)
+	if err != nil {
+		return err
+	}
+	logger = logger.With("service", "mmtload")
 	if *n <= 0 || *conc <= 0 {
 		return fmt.Errorf("-n and -c must be positive")
 	}
@@ -157,6 +163,10 @@ func runLoad(args []string, stdout, progress io.Writer) error {
 				latency.Observe(d)
 				if err != nil {
 					failures.Inc()
+					logger.Warn("job failed", "job", i, "trace", traceID, "error", err.Error())
+				} else {
+					logger.Debug("job done", "job", st.ID, "trace", traceID,
+						"source", st.Source, "dedup", st.Dedup, "ms", d.Milliseconds())
 				}
 				if err == nil && o != nil && o.Attribution != nil {
 					profMu.Lock()

@@ -45,6 +45,7 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	logf := addLogFlags(fs)
+	dbg := addDebugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,8 +73,10 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 		StealMax:       *stealMax,
 		PlacementTTL:   *placementTTL,
 	}
+	// The registry always exists: /metrics rides the main port for
+	// mmtdoctor, and -metrics-addr additionally serves it on a side port.
+	opts.Metrics = obs.NewRegistry()
 	if *metricsAddr != "" {
-		opts.Metrics = obs.NewRegistry()
 		msrv, err := serveMetrics(*metricsAddr, opts.Metrics, progress)
 		if err != nil {
 			return err
@@ -86,8 +89,14 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 	if err != nil {
 		return err
 	}
-	opts.Tracer = span.NewTracer("mmtrouter@"+ln.Addr().String(), span.DefaultCapacity)
+	service := "mmtrouter@" + ln.Addr().String()
+	opts.Tracer = span.NewTracer(service, span.DefaultCapacity)
+	st := dbg.build(service, fs, opts.Metrics, opts.Tracer, logger, progress)
+	defer st.Close()
+	logger = st.Wrap(logger)
 	opts.Log = logger.With("service", "mmtrouter")
+	opts.Flight = st.Flight
+	opts.Debug = st.Handler
 	rt, err := cluster.NewRouter(opts)
 	if err != nil {
 		ln.Close()
@@ -98,6 +107,7 @@ func runRouter(args []string, stdout, progress io.Writer, ready func(addr string
 	if progress != nil {
 		fmt.Fprintf(progress, "mmtrouter %s routing on http://%s/v1 across %d backends\n",
 			Version(), ln.Addr(), len(nodes))
+		st.announce(progress, ln.Addr().String())
 	}
 	if ready != nil {
 		ready(ln.Addr().String())

@@ -55,6 +55,7 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	logf := addLogFlags(fs)
+	dbg := addDebugFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,8 +100,11 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 	if *remote != "" {
 		opts.Runner.RemoteCache = cluster.NewCacheClient(*remote, nil)
 	}
+	// The registry always exists: /metrics rides the main port for
+	// mmtdoctor, and -metrics-addr additionally serves it with expvar and
+	// pprof on a side port.
+	opts.Metrics = obs.NewRegistry()
 	if *metricsAddr != "" {
-		opts.Metrics = obs.NewRegistry()
 		msrv, err := serveMetrics(*metricsAddr, opts.Metrics, progress)
 		if err != nil {
 			return err
@@ -129,8 +133,23 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 		}
 		return err
 	}
-	opts.Tracer = span.NewTracer("mmtserved@"+ln.Addr().String(), span.DefaultCapacity)
+	service := "mmtserved@" + ln.Addr().String()
+	opts.Tracer = span.NewTracer(service, span.DefaultCapacity)
+	// The diagnostics stack: flight ring (fed admission/completion edges,
+	// finished spans, log lines and the runner's job timeline), continuous
+	// profiler, metrics history, SIGQUIT dump.
+	st := dbg.build(service, fs, opts.Metrics, opts.Tracer, logger, progress)
+	defer st.Close()
+	logger = st.Wrap(logger)
 	opts.Log = logger.With("service", "mmtserved")
+	opts.Flight = st.Flight
+	opts.Debug = st.Handler
+	opts.Runner.FlightDumpDir = st.DumpDir
+	if opts.Runner.Trace != nil {
+		opts.Runner.Trace = obs.Multi(opts.Runner.Trace, st.Flight)
+	} else {
+		opts.Runner.Trace = st.Flight
+	}
 
 	srv, err := serve.New(rootCtx, opts)
 	if err != nil {
@@ -144,6 +163,7 @@ func runServe(args []string, stdout, progress io.Writer, ready func(addr string)
 	if progress != nil {
 		fmt.Fprintf(progress, "mmtserved %s serving on http://%s/v1 (%d workers, queue %d)\n",
 			Version(), ln.Addr(), srv.Pool().Summary().Workers, *queue)
+		st.announce(progress, ln.Addr().String())
 	}
 	if ready != nil {
 		ready(ln.Addr().String())

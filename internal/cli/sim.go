@@ -53,6 +53,7 @@ func RunSim(args []string, out io.Writer) error {
 		precheck    = fs.Bool("precheck", false, "statically analyze the program first (mmtcheck) and refuse to run on error findings")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
+	flf := addFlightFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,7 +163,11 @@ func RunSim(args []string, out io.Writer) error {
 	// mmtbench's persistent cache, timeout and panic isolation.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	pool, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir, Timeout: *timeout, Metrics: reg})
+	// The always-on flight recorder rides the pool's job timeline; a
+	// captured worker panic or SIGQUIT dumps the ring to disk.
+	fl, dumpDir := flf.build("mmtsim", os.Stderr)
+	pool, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir, Timeout: *timeout,
+		Metrics: reg, Trace: fl, Flight: fl, FlightDumpDir: dumpDir})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/flight"
 	"mmt/internal/obs/span"
 	"mmt/internal/runner"
 )
@@ -34,6 +36,13 @@ type CacheServerOptions struct {
 	// Log, when non-nil, receives request-scoped structured log lines
 	// stamped with trace and span ids. Nil discards.
 	Log *slog.Logger
+	// Flight, when non-nil, is the process flight recorder: entry rejects
+	// land in its ring as marks and it is served at GET /v1/debug/flight.
+	Flight *flight.Recorder
+	// Debug, when non-nil, is mounted under GET /v1/debug/ — continuous
+	// profiles, metrics history, resolved config. The flight ring's exact
+	// route wins over this prefix.
+	Debug http.Handler
 }
 
 // CacheServer is the content-addressed remote result cache behind
@@ -54,6 +63,7 @@ type CacheServer struct {
 	mux    *http.ServeMux
 	met    *cacheMetrics
 	tracer *span.Tracer
+	flight *flight.Recorder
 	log    *slog.Logger
 	start  time.Time
 
@@ -86,7 +96,7 @@ func NewCacheServer(opts CacheServerOptions) (*CacheServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &CacheServer{store: store, tracer: opts.Tracer, log: opts.Log, start: time.Now()}
+	s := &CacheServer{store: store, tracer: opts.Tracer, flight: opts.Flight, log: opts.Log, start: time.Now()}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -109,6 +119,16 @@ func NewCacheServer(opts CacheServerOptions) (*CacheServer, error) {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	if s.tracer != nil {
 		mux.Handle("GET /v1/spans", s.tracer)
+	}
+	if opts.Metrics != nil {
+		mux.Handle("GET /metrics", opts.Metrics)
+	}
+	if opts.Debug != nil {
+		mux.Handle("GET /v1/debug/", opts.Debug)
+	}
+	if opts.Flight != nil {
+		// The exact route wins over the Debug prefix above.
+		mux.Handle("GET /v1/debug/flight", opts.Flight)
 	}
 	s.mux = mux
 	return s, nil
@@ -207,6 +227,7 @@ func (s *CacheServer) reject(w http.ResponseWriter, status int, format string, a
 	if s.met != nil {
 		s.met.rejects.Inc()
 	}
+	s.flight.MarkErr("cache entry rejected", fmt.Sprintf(format, args...))
 	writeError(w, status, 0, format, args...)
 }
 

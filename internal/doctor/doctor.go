@@ -1,0 +1,333 @@
+// Package doctor is the fleet diagnostics engine behind mmtdoctor: it
+// discovers every process in an mmt fleet, pulls each one's flight ring,
+// span ring, metrics history, continuous-profiler captures and resolved
+// configuration into a single reproducible bundle, and distills a triage
+// report — which metrics moved, which traces were slowest and where their
+// time went, what was hot on-CPU, and whether any process recorded a
+// panic. The collector is read-only: it only issues GETs against the
+// debug surface every daemon already serves.
+package doctor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"mmt/internal/cluster"
+	"mmt/internal/obs/flight"
+	"mmt/internal/obs/history"
+	"mmt/internal/obs/profiled"
+	"mmt/internal/obs/span"
+)
+
+// BundleSchema versions the on-disk bundle manifest.
+const BundleSchema = 1
+
+// Options configures one collection sweep.
+type Options struct {
+	// Server is the entry point: a router (its /v1/cluster expands to the
+	// whole fleet) or a single mmtserved.
+	Server string
+	// Sources are extra base URLs to collect from (e.g. an mmtcached,
+	// which no /v1/cluster reports).
+	Sources []string
+	// Client is the HTTP client (nil = a default client; the caller's
+	// context bounds the sweep).
+	Client *http.Client
+	// SlowTraces is how many of the slowest recent traces to stitch into
+	// the bundle (<= 0 means 3).
+	SlowTraces int
+	// TopFrames bounds each merged profile report (<= 0 means 10).
+	TopFrames int
+	// ProfileLast merges only the newest N CPU captures (<= 0 means 4).
+	ProfileLast int
+	// Version labels the manifest with the collecting tool's version.
+	Version string
+	// Progress, when non-nil, receives one line per endpoint and warning.
+	Progress io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.SlowTraces <= 0 {
+		o.SlowTraces = 3
+	}
+	if o.TopFrames <= 0 {
+		o.TopFrames = 10
+	}
+	if o.ProfileLast <= 0 {
+		o.ProfileLast = 4
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Progress == nil {
+		o.Progress = io.Discard
+	}
+}
+
+// NodeDiag is everything collected from one process.
+type NodeDiag struct {
+	Base    string `json:"base"`
+	Service string `json:"service"` // the process's own label, e.g. "mmtserved@127.0.0.1:8377"
+
+	Flight    *flight.Dump            `json:"-"` // written as nodes/<node>/flight.json
+	Metrics   *history.Response       `json:"-"` // nodes/<node>/metrics.json
+	Profiles  *profiled.IndexResponse `json:"-"` // nodes/<node>/profiles.json
+	CPUMerged *profiled.TopReport     `json:"-"` // nodes/<node>/cpu-merged.json
+	CPURaw    []byte                  `json:"-"` // nodes/<node>/cpu.pprof (newest capture)
+	Config    json.RawMessage         `json:"-"` // nodes/<node>/config.json
+
+	// Errors lists per-endpoint fetch failures; a node with no flight
+	// ring at all is dropped instead.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// TraceDiag is one stitched slow trace.
+type TraceDiag struct {
+	ID      string        `json:"id"`
+	Root    string        `json:"root"`
+	DurMS   float64       `json:"dur_ms"`
+	Spans   int           `json:"spans"`
+	Procs   int           `json:"procs"`
+	Records []span.Record `json:"records"`
+}
+
+// Bundle is one collection sweep's result, held in memory until Write.
+type Bundle struct {
+	Schema   int    `json:"schema"`
+	Version  string `json:"version,omitempty"`
+	Server   string `json:"server"`
+	TakenUNS int64  `json:"taken_uns"`
+
+	Cluster *cluster.ClusterStats `json:"-"` // cluster.json, when the server is a router
+	Nodes   []*NodeDiag           `json:"nodes"`
+	Traces  []TraceDiag           `json:"-"` // traces/<id>.json
+	Triage  *Triage               `json:"-"` // triage.json + triage.txt
+
+	// Unreachable lists endpoints that answered nothing at all.
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// Collect sweeps the fleet once. It degrades rather than fails: a node
+// missing one endpoint records the error and keeps the rest; only a sweep
+// that reaches no flight ring at all errors out.
+func Collect(ctx context.Context, opts Options) (*Bundle, error) {
+	opts.defaults()
+	b := &Bundle{Schema: BundleSchema, Version: opts.Version, Server: opts.Server,
+		TakenUNS: time.Now().UnixNano()}
+
+	eps := discover(ctx, &opts, b)
+	for _, ep := range eps {
+		n := collectNode(ctx, &opts, ep)
+		if n == nil {
+			b.Unreachable = append(b.Unreachable, ep)
+			fmt.Fprintf(opts.Progress, "doctor: %s: unreachable (no flight ring), skipping\n", ep)
+			continue
+		}
+		fmt.Fprintf(opts.Progress, "doctor: collected %s (%s)\n", n.Service, n.Base)
+		b.Nodes = append(b.Nodes, n)
+	}
+	if len(b.Nodes) == 0 {
+		return nil, fmt.Errorf("doctor: no node reachable (tried %s)", strings.Join(eps, ", "))
+	}
+
+	collectTraces(ctx, &opts, b, eps)
+	b.Triage = triage(b, opts.TopFrames)
+	return b, nil
+}
+
+// discover expands -server via its /v1/cluster (when it is a router) and
+// appends the extra sources; order is stable and duplicates collapse. A
+// successful cluster fetch also lands in the bundle.
+func discover(ctx context.Context, opts *Options, b *Bundle) []string {
+	seen := make(map[string]bool)
+	var eps []string
+	add := func(base string) {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" || seen[base] {
+			return
+		}
+		seen[base] = true
+		eps = append(eps, base)
+	}
+	add(opts.Server)
+	if cs, err := cluster.FetchClusterStats(ctx, opts.Client, opts.Server); err == nil {
+		b.Cluster = &cs
+		for _, n := range cs.Nodes {
+			add(n.Node.URL)
+		}
+	} else {
+		fmt.Fprintf(opts.Progress, "doctor: no cluster behind %s (%v); treating it as a single node\n",
+			opts.Server, err)
+	}
+	for _, s := range opts.Sources {
+		add(s)
+	}
+	return eps
+}
+
+// collectNode pulls one process's whole debug surface. The flight ring is
+// the liveness probe: without it the node is reported unreachable.
+func collectNode(ctx context.Context, opts *Options, base string) *NodeDiag {
+	d, err := flight.FetchDump(ctx, opts.Client, base)
+	if err != nil {
+		return nil
+	}
+	n := &NodeDiag{Base: base, Service: d.Service, Flight: &d}
+	record := func(what string, err error) {
+		n.Errors = append(n.Errors, what+": "+err.Error())
+		fmt.Fprintf(opts.Progress, "doctor: %s: %s: %v\n", base, what, err)
+	}
+
+	var hist history.Response
+	if err := fetchJSON(ctx, opts.Client, base+"/v1/debug/metrics", &hist); err != nil {
+		record("metrics history", err)
+	} else {
+		n.Metrics = &hist
+	}
+
+	var idx profiled.IndexResponse
+	if err := fetchJSON(ctx, opts.Client, base+"/v1/debug/profiles", &idx); err != nil {
+		record("profile index", err)
+	} else {
+		n.Profiles = &idx
+		cpu := 0
+		newest := 0
+		for _, c := range idx.Captures {
+			if c.Kind == "cpu" {
+				cpu++
+				newest = c.ID
+			}
+		}
+		if cpu > 0 {
+			var rep profiled.TopReport
+			url := fmt.Sprintf("%s/v1/debug/profiles?merge=cpu&last=%d&top=%d",
+				base, opts.ProfileLast, opts.TopFrames)
+			if err := fetchJSON(ctx, opts.Client, url, &rep); err != nil {
+				record("cpu merge", err)
+			} else {
+				n.CPUMerged = &rep
+			}
+			raw, err := fetchBytes(ctx, opts.Client, fmt.Sprintf("%s/v1/debug/profiles?id=%d", base, newest))
+			if err != nil {
+				record("cpu capture", err)
+			} else {
+				n.CPURaw = raw
+			}
+		}
+	}
+
+	var cfg json.RawMessage
+	if err := fetchJSON(ctx, opts.Client, base+"/v1/debug/config", &cfg); err != nil {
+		record("config", err)
+	} else {
+		n.Config = cfg
+	}
+	return n
+}
+
+// fleetTrace is one trace's summaries merged across processes.
+type fleetTrace struct {
+	id        string
+	root      string
+	rootStart int64
+	spans     int
+	procs     int
+	start     int64
+	end       int64
+}
+
+// collectTraces merges every process's recent-trace summaries, ranks them
+// by fleet-wide duration, and stitches the slowest into the bundle.
+func collectTraces(ctx context.Context, opts *Options, b *Bundle, eps []string) {
+	merged := make(map[string]*fleetTrace)
+	for _, ep := range eps {
+		tr, err := span.FetchTraces(ctx, opts.Client, ep, 100)
+		if err != nil {
+			continue
+		}
+		for _, s := range tr.Traces {
+			m := merged[s.TraceID]
+			if m == nil {
+				m = &fleetTrace{id: s.TraceID, start: s.StartUNS}
+				merged[s.TraceID] = m
+			}
+			m.spans += s.Spans
+			m.procs++
+			if s.StartUNS < m.start {
+				m.start = s.StartUNS
+			}
+			if end := s.StartUNS + int64(s.DurMS*1e6); end > m.end {
+				m.end = end
+			}
+			if m.root == "" || s.StartUNS < m.rootStart {
+				m.root, m.rootStart = s.Root, s.StartUNS
+			}
+		}
+	}
+	list := make([]*fleetTrace, 0, len(merged))
+	for _, m := range merged { // mmtvet:ok — sorted below
+		list = append(list, m)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if di, dj := list[i].end-list[i].start, list[j].end-list[j].start; di != dj {
+			return di > dj
+		}
+		return list[i].id < list[j].id
+	})
+	if len(list) > opts.SlowTraces {
+		list = list[:opts.SlowTraces]
+	}
+	for _, m := range list {
+		var records []span.Record
+		for _, ep := range eps {
+			sr, err := span.FetchSpans(ctx, opts.Client, ep, m.id)
+			if err != nil {
+				continue
+			}
+			records = append(records, sr.Spans...)
+		}
+		tree := span.Stitch(records)
+		if tree.Count == 0 {
+			continue
+		}
+		start, end := tree.Window()
+		b.Traces = append(b.Traces, TraceDiag{
+			ID:      m.id,
+			Root:    m.root,
+			DurMS:   float64(end-start) / 1e6,
+			Spans:   tree.Count,
+			Procs:   len(tree.Services),
+			Records: records,
+		})
+	}
+}
+
+func fetchJSON(ctx context.Context, hc *http.Client, url string, out any) error {
+	raw, err := fetchBytes(ctx, hc, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func fetchBytes(ctx context.Context, hc *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}

@@ -22,6 +22,22 @@ type Backend interface {
 	Name() string
 }
 
+// TracedBackend is implemented by backends that can carry a per-request
+// correlation id end-to-end, so each evaluation's log line greps to the
+// matching server-side spans and flight-ring entries.
+type TracedBackend interface {
+	RunTraced(ctx context.Context, spec sim.TaskSpec, trace string) (*sim.Outcome, error)
+}
+
+// runOn dispatches one evaluation, threading the trace id through when the
+// backend supports it.
+func runOn(ctx context.Context, be Backend, spec sim.TaskSpec, trace string) (*sim.Outcome, error) {
+	if tb, ok := be.(TracedBackend); ok && trace != "" {
+		return tb.RunTraced(ctx, spec, trace)
+	}
+	return be.Run(ctx, spec)
+}
+
 // LocalBackend evaluates on an in-process runner.Pool, inheriting its
 // content-addressed dedup, persistent cache and retries.
 type LocalBackend struct{ pool *runner.Pool }
@@ -44,6 +60,20 @@ func (b *LocalBackend) Run(ctx context.Context, spec sim.TaskSpec) (*sim.Outcome
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return b.pool.Do(task)
+}
+
+// RunTraced implements TracedBackend: the id rides the task into the
+// pool's job timeline (and flight ring, when one is wired).
+func (b *LocalBackend) RunTraced(ctx context.Context, spec sim.TaskSpec, trace string) (*sim.Outcome, error) {
+	task, err := spec.Task()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	task.TraceID = trace
 	return b.pool.Do(task)
 }
 
@@ -70,6 +100,19 @@ func NewServerBackend(base string) *ServerBackend {
 // Run submits the spec and waits for its outcome.
 func (b *ServerBackend) Run(ctx context.Context, spec sim.TaskSpec) (*sim.Outcome, error) {
 	out, st, err := b.c.Run(ctx, serve.SubmitRequest{Task: spec})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("dse: server job %s finished %s without an outcome", st.ID, st.State)
+	}
+	return out, nil
+}
+
+// RunTraced implements TracedBackend: the id becomes the submission's
+// trace_id, unifying the client-side log line with the server's spans.
+func (b *ServerBackend) RunTraced(ctx context.Context, spec sim.TaskSpec, trace string) (*sim.Outcome, error) {
+	out, st, err := b.c.Run(ctx, serve.SubmitRequest{Task: spec, TraceID: trace})
 	if err != nil {
 		return nil, err
 	}

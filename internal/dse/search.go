@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 
 	"mmt/internal/obs"
@@ -38,6 +39,10 @@ type Options struct {
 	Progress io.Writer
 	// Metrics, when non-nil, receives the mmt_dse_* counters/gauges.
 	Metrics *obs.Registry
+	// Log, when non-nil, receives structured request-scoped lines: one per
+	// evaluation, stamped with the trace id the backend carried (nil
+	// discards them). Progress stays the human-readable channel.
+	Log *slog.Logger
 	// Resume, when non-nil, is a prior (typically Partial) study of the
 	// same space: its results are reused instead of re-simulated.
 	Resume *Study
@@ -128,6 +133,10 @@ func Search(ctx context.Context, opts Options) (*Study, error) {
 	if progress == nil {
 		progress = io.Discard
 	}
+	logg := opts.Log
+	if logg == nil {
+		logg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 
 	var filter *StaticFilter
 	if spec.Filter != nil && spec.Filter.MinReconvCoverage > 0 {
@@ -188,7 +197,7 @@ func Search(ctx context.Context, opts Options) (*Study, error) {
 		fmt.Fprintf(progress, "dse: rung %d/%d: %d points at %d insts on %s\n",
 			r+1, len(rungs), n, rungs[r], opts.Backend.Name())
 		results, err := evaluateCohort(ctx, opts.Backend, spec, apps, cohort[:n], r, rungs[r],
-			opts.Concurrency, reuse, progress, m)
+			opts.Concurrency, reuse, progress, logg, m)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +253,7 @@ func Search(ctx context.Context, opts Options) (*Study, error) {
 // artifact). The first error in cohort order wins.
 func evaluateCohort(ctx context.Context, be Backend, spec *Spec, apps []string,
 	cohort []Point, rung int, maxInsts uint64, concurrency int,
-	reuse map[string]*PointResult, progress io.Writer, m metrics) ([]PointResult, error) {
+	reuse map[string]*PointResult, progress io.Writer, logg *slog.Logger, m metrics) ([]PointResult, error) {
 
 	if concurrency <= 0 {
 		concurrency = 1
@@ -267,7 +276,7 @@ func evaluateCohort(ctx context.Context, be Backend, spec *Spec, apps []string,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			pr, err := evaluatePoint(ctx, be, spec, apps, cohort[i], rung, maxInsts)
+			pr, err := evaluatePoint(ctx, be, spec, apps, cohort[i], rung, maxInsts, logg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -296,7 +305,7 @@ func evaluateCohort(ctx context.Context, be Backend, spec *Spec, apps []string,
 // aggregate) and energy/job as the arithmetic mean, plus the summed
 // per-structure energy breakdown in canonical component form.
 func evaluatePoint(ctx context.Context, be Backend, spec *Spec, apps []string,
-	p Point, rung int, maxInsts uint64) (*PointResult, error) {
+	p Point, rung int, maxInsts uint64, logg *slog.Logger) (*PointResult, error) {
 
 	override := p.Override
 	override.MaxInsts = maxInsts
@@ -308,10 +317,16 @@ func evaluatePoint(ctx context.Context, be Backend, spec *Spec, apps []string,
 	for _, app := range apps {
 		ov := override
 		ts := sim.TaskSpec{App: app, Preset: spec.Preset, Threads: spec.Threads, Config: &ov}
-		out, err := be.Run(ctx, ts)
+		// The trace id is deterministic (point, rung, app), so re-running a
+		// study greps to the same server-side spans and flight entries.
+		trace := fmt.Sprintf("dse-%s-r%d-%s", p.ID, rung, app)
+		out, err := runOn(ctx, be, ts, trace)
 		if err != nil {
+			logg.Warn("evaluation failed", "point", p.ID, "rung", rung, "app", app,
+				"trace", trace, "error", err.Error())
 			return nil, fmt.Errorf("dse: %s on %s: %w", p.ID, app, err)
 		}
+		logg.Debug("evaluation done", "point", p.ID, "rung", rung, "app", app, "trace", trace)
 		res := out.Result
 		if res == nil || res.Stats == nil {
 			return nil, fmt.Errorf("dse: %s on %s: outcome has no result", p.ID, app)

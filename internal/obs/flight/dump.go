@@ -1,0 +1,236 @@
+package flight
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// DumpSchema versions the on-disk dump format.
+const DumpSchema = 1
+
+// Dump is a flight ring frozen at one instant: what the process's recent
+// past looked like when it panicked, was SIGQUIT'd, or was scraped.
+type Dump struct {
+	Schema   int     `json:"schema"`
+	Service  string  `json:"service"`
+	Reason   string  `json:"reason"`
+	PID      int     `json:"pid,omitempty"`
+	TakenUNS int64   `json:"taken_uns"`
+	Dropped  uint64  `json:"dropped"`
+	Entries  []Entry `json:"entries"`
+}
+
+// WriteDump snapshots the ring and writes it as indented JSON to path.
+func (r *Recorder) WriteDump(path, reason string) error {
+	d := r.Snapshot(reason)
+	d.Schema = DumpSchema
+	b, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadDump loads a dump written by WriteDump.
+func ReadDump(path string) (Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Dump{}, err
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return Dump{}, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if d.Schema != DumpSchema {
+		return Dump{}, fmt.Errorf("%s: flight dump schema %d, this build reads %d", path, d.Schema, DumpSchema)
+	}
+	return d, nil
+}
+
+// DumpPath names a dump file for a service inside dir; ':' and '/' in the
+// service label (addresses, URLs) are flattened so the name stays a single
+// path element.
+func DumpPath(dir, service string, pid int) string {
+	s := strings.NewReplacer(":", "_", "/", "_", "\\", "_").Replace(service)
+	if s == "" {
+		s = "unknown"
+	}
+	return filepath.Join(dir, fmt.Sprintf("mmt-flight-%s-%d.json", s, pid))
+}
+
+// Render writes the dump as a human-readable table: one line per entry,
+// oldest first, with the entry's wall-clock offset from the dump instant.
+func (d Dump) Render(w io.Writer) {
+	fmt.Fprintf(w, "flight dump: %s (reason: %s, pid %d, taken %s)\n",
+		d.Service, d.Reason, d.PID, time.Unix(0, d.TakenUNS).UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "%d entries, %d older entries overwritten\n\n", len(d.Entries), d.Dropped)
+	fmt.Fprintf(w, "%10s %-9s %-40s %-24s %s\n", "age", "kind", "what", "trace", "detail")
+	for _, e := range d.Entries {
+		age := "?"
+		if e.UNS > 0 && d.TakenUNS >= e.UNS {
+			age = fmt.Sprintf("-%.3fs", float64(d.TakenUNS-e.UNS)/1e9)
+		}
+		fmt.Fprintf(w, "%10s %-9s %-40s %-24s %s\n",
+			age, e.Kind, clip(e.describe(), 40), clip(e.Trace, 24), e.detail())
+	}
+}
+
+// describe is the entry's primary label for the rendered table.
+func (e Entry) describe() string {
+	switch e.Kind {
+	case KindEvent:
+		if e.Name != "" {
+			return e.Err + " " + e.Name // Err holds the obs event kind
+		}
+		return e.Err
+	case KindSample:
+		return fmt.Sprintf("cycle %d", e.TS)
+	case KindLog:
+		return e.Name
+	default:
+		return e.Name
+	}
+}
+
+// detail is the entry's kind-specific suffix for the rendered table.
+func (e Entry) detail() string {
+	switch e.Kind {
+	case KindEvent:
+		var parts []string
+		if e.Track != 0 {
+			parts = append(parts, fmt.Sprintf("track=%d", e.Track))
+		}
+		if e.PC != 0 {
+			parts = append(parts, fmt.Sprintf("pc=%#x", e.PC))
+		}
+		if e.Arg != 0 {
+			parts = append(parts, fmt.Sprintf("arg=%d", e.Arg))
+		}
+		if e.Dur != 0 {
+			parts = append(parts, fmt.Sprintf("dur=%d", e.Dur))
+		}
+		return strings.Join(parts, " ")
+	case KindSample:
+		return fmt.Sprintf("committed=%d rob=%d", e.Arg, e.Track)
+	case KindSpan:
+		return fmt.Sprintf("%.3fms", float64(e.Dur)/1e6)
+	case KindLog:
+		return "level=" + levelName(int(e.Arg)-8)
+	case KindAdmit:
+		return e.Err
+	case KindComplete:
+		if e.Err != "" {
+			return fmt.Sprintf("%.3fms error: %s", float64(e.Dur)/1e6, e.Err)
+		}
+		return fmt.Sprintf("%.3fms ok", float64(e.Dur)/1e6)
+	case KindPanic:
+		return "PANIC: " + e.Err
+	default:
+		return e.Err
+	}
+}
+
+func levelName(l int) string {
+	switch {
+	case l < 0:
+		return "debug"
+	case l < 4:
+		return "info"
+	case l < 8:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Panics returns the dump's captured panic entries, oldest first.
+func (d Dump) Panics() []Entry {
+	var out []Entry
+	for _, e := range d.Entries {
+		if e.Kind == KindPanic {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ServeHTTP serves the live ring as a dump document (GET /v1/debug/flight).
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	d := r.Snapshot("http")
+	d.Schema = DumpSchema
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(d) //nolint:errcheck // client went away; nothing to do
+}
+
+// FetchDump GETs one process's flight ring from its /v1/debug/flight
+// endpoint.
+func FetchDump(ctx context.Context, hc *http.Client, base string) (Dump, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(base, "/")+"/v1/debug/flight", nil)
+	if err != nil {
+		return Dump{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Dump{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Dump{}, fmt.Errorf("flight: GET %s/v1/debug/flight: status %d", base, resp.StatusCode)
+	}
+	var d Dump
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&d); err != nil {
+		return Dump{}, err
+	}
+	return d, nil
+}
+
+// InstallSignalDump arranges for SIGQUIT to write the ring to a dump file
+// under dir before the process exits with the conventional status 2 and a
+// goroutine stack dump on stderr — the black-box lands on disk exactly
+// when an operator (or orchestrator) kills a wedged node. Returns the path
+// the dump will be written to.
+func InstallSignalDump(r *Recorder, dir string, logw io.Writer) string {
+	path := DumpPath(dir, r.Service(), os.Getpid())
+	c := make(chan os.Signal, 1)
+	signal.Notify(c, syscall.SIGQUIT)
+	go func() {
+		<-c
+		if err := r.WriteDump(path, "SIGQUIT"); err == nil {
+			if logw != nil {
+				fmt.Fprintf(logw, "flight: SIGQUIT dump written to %s\n", path)
+			}
+		} else if logw != nil {
+			fmt.Fprintf(logw, "flight: SIGQUIT dump failed: %v\n", err)
+		}
+		// Preserve the Go runtime's SIGQUIT contract: goroutine stacks on
+		// stderr, exit status 2.
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		os.Stderr.Write(buf[:n]) //nolint:errcheck // best-effort, exiting
+		os.Exit(2)
+	}()
+	return path
+}

@@ -1,0 +1,303 @@
+// Package flight is the fleet's black-box recorder: an always-on, bounded,
+// allocation-free-on-the-hot-path ring of the most recent observability
+// entries in one process — typed obs events and machine samples, finished
+// span references, structured log lines, job admission/completion edges,
+// and captured panics. When a node stalls or dies *after the fact*, the
+// ring is the replay: it is served live at GET /v1/debug/flight, dumped to
+// disk on SIGQUIT or a captured worker panic, and rendered offline by
+// `mmtdoctor -from-dump`.
+//
+// The recorder implements obs.Recorder, so it fans into the existing
+// nil-safe Recorder seams (the runner pool's job timeline, the simulator
+// core's event/sample hooks) via obs.Multi without any producer changes.
+// Recording copies fixed-size values into a preallocated slot under a
+// mutex: no allocation, no I/O, no encoding — the ring costs the hot path
+// one lock and a struct copy. Every method on a nil *Recorder is a no-op.
+package flight
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"mmt/internal/obs"
+)
+
+// Kind classifies one ring entry.
+type Kind uint8
+
+const (
+	// KindMark is a free-form annotation (process start, config reload,
+	// route decisions, cache rejections).
+	KindMark Kind = iota
+	// KindEvent is an obs.Event from a Recorder seam (runner job timeline,
+	// simulator core events). TS/Track/PC/Arg/Dur carry the event payload
+	// in the producer's time domain.
+	KindEvent
+	// KindSample is an obs.Sample: TS is the cycle stamp, Arg the
+	// cumulative committed-instruction count, Track the ROB occupancy.
+	KindSample
+	// KindSpan is a finished distributed span reference: Name is the span
+	// name, Trace its trace id, UNS its start, Dur its duration in ns.
+	KindSpan
+	// KindLog is a structured log line: Name holds the rendered message,
+	// Arg the slog level + 8 (so debug=-4 fits an unsigned slot).
+	KindLog
+	// KindAdmit is a serving-layer job admission edge: Name the job id,
+	// Err the admission verdict ("queued", "dedup", "rejected", ...).
+	KindAdmit
+	// KindComplete is a job completion edge: Name the job id, Dur the
+	// job's latency in ns, Err its error (empty on success).
+	KindComplete
+	// KindPanic is a captured worker panic: Name the job name, Err the
+	// panic value, Trace the job's correlation id, PC unused.
+	KindPanic
+
+	numKinds // internal bound
+)
+
+var kindNames = [numKinds]string{
+	KindMark:     "mark",
+	KindEvent:    "event",
+	KindSample:   "sample",
+	KindSpan:     "span",
+	KindLog:      "log",
+	KindAdmit:    "admit",
+	KindComplete: "complete",
+	KindPanic:    "panic",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind-?"
+}
+
+// MarshalText renders the kind as its stable name so dumps stay grep-able.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name written by MarshalText.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	// Tolerate dumps from newer builds: unknown kinds render as kind-?.
+	*k = numKinds
+	return nil
+}
+
+// Entry is one ring slot. All fields are fixed-size values (string headers
+// included), so recording one is a struct copy into preallocated storage.
+// Field meaning varies by Kind; unused slots stay zero and are omitted
+// from dumps.
+type Entry struct {
+	Seq   uint64 `json:"seq"`
+	UNS   int64  `json:"uns"` // wall clock at record time, unix nanoseconds
+	Kind  Kind   `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	Track int32  `json:"track,omitempty"`
+	TS    uint64 `json:"ts,omitempty"`
+	PC    uint64 `json:"pc,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+	Dur   uint64 `json:"dur,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// DefaultCapacity is the ring's default slot count.
+const DefaultCapacity = 4096
+
+// Recorder is the bounded flight ring for one process. A nil *Recorder is
+// valid and records nothing, so wiring sites need no guards. It implements
+// obs.Recorder for the existing hook seams and http.Handler for the
+// GET /v1/debug/flight endpoint.
+type Recorder struct {
+	service string
+
+	mu      sync.Mutex
+	buf     []Entry // preallocated to capacity; len grows to cap then stays
+	next    int     // overwrite cursor once full
+	seq     uint64
+	dropped uint64
+}
+
+// compile-time check: the ring slots straight into the obs seams.
+var _ obs.Recorder = (*Recorder)(nil)
+
+// New returns a ring for the given service label ("mmtserved@host:port").
+// capacity <= 0 selects DefaultCapacity.
+func New(service string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{service: service, buf: make([]Entry, 0, capacity)}
+}
+
+// Service returns the ring's service label ("" on nil).
+func (r *Recorder) Service() string {
+	if r == nil {
+		return ""
+	}
+	return r.service
+}
+
+// record stamps and stores one entry, overwriting the oldest once full.
+func (r *Recorder) record(e Entry) {
+	e.UNS = time.Now().UnixNano()
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Event implements obs.Recorder: the runner's job timeline and the
+// simulator core's typed events land here when the ring is fanned into
+// their Trace seam.
+func (r *Recorder) Event(e obs.Event) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindEvent, Name: e.Name, Trace: e.Trace,
+		Track: e.Track, TS: e.TS, PC: e.PC, Arg: e.Arg, Dur: e.Dur,
+		Err: e.Kind.String()})
+}
+
+// Sample implements obs.Recorder: periodic machine-occupancy samples keep
+// the ring's tail describing what the simulated machine was doing.
+func (r *Recorder) Sample(s obs.Sample) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindSample, TS: s.TS, Arg: s.Committed, Track: int32(s.ROB)})
+}
+
+// Close implements obs.Recorder. The ring holds no resources; the entries
+// stay readable after Close so a post-shutdown dump still works.
+func (r *Recorder) Close() error { return nil }
+
+// Mark records a free-form annotation.
+func (r *Recorder) Mark(name string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindMark, Name: name})
+}
+
+// MarkErr records an annotation carrying an error or verdict string.
+func (r *Recorder) MarkErr(name, errText string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindMark, Name: name, Err: errText})
+}
+
+// Admit records a serving-layer admission edge: job is the job id,
+// verdict how admission resolved ("queued", "dedup", "rejected",
+// "expired", ...), trace the job's correlation id.
+func (r *Recorder) Admit(job, verdict, trace string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindAdmit, Name: job, Err: verdict, Trace: trace})
+}
+
+// Complete records a job completion edge with its end-to-end latency and
+// final error (empty on success).
+func (r *Recorder) Complete(job, trace string, dur time.Duration, errText string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindComplete, Name: job, Trace: trace,
+		Dur: uint64(dur.Nanoseconds()), Err: errText})
+}
+
+// SpanRef records a finished distributed span by reference (wired from
+// span.Tracer's observer), so the ring interleaves span completions with
+// events and log lines without holding attribute maps.
+func (r *Recorder) SpanRef(name, trace string, startUNS, durNS int64) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindSpan, Name: name, Trace: trace,
+		TS: uint64(startUNS), Dur: uint64(durNS)})
+}
+
+// Log records a rendered structured-log line. level is the slog level
+// value; it is offset by +8 into Arg so debug (-4) survives the unsigned
+// slot.
+func (r *Recorder) Log(level int, msg, trace string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindLog, Name: msg, Trace: trace, Arg: uint64(level + 8)})
+}
+
+// Panic records a captured worker panic: name labels the job, key is its
+// content-addressed task key, trace its correlation id, v the panic value.
+func (r *Recorder) Panic(name, key, trace, v string) {
+	if r == nil {
+		return
+	}
+	r.record(Entry{Kind: KindPanic, Name: name, Err: v, Trace: trace})
+	// The key is recorded as its own mark so the dump names the exact
+	// experiment to replay, however long the key string is.
+	r.record(Entry{Kind: KindMark, Name: "panic task key: " + key, Trace: trace})
+}
+
+// Len returns how many entries the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many entries the ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Entries returns the ring's contents oldest-first.
+func (r *Recorder) Entries() []Entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Snapshot assembles a Dump of the current ring state.
+func (r *Recorder) Snapshot(reason string) Dump {
+	d := Dump{
+		Service:  r.Service(),
+		Reason:   reason,
+		PID:      os.Getpid(),
+		TakenUNS: time.Now().UnixNano(),
+		Dropped:  r.Dropped(),
+		Entries:  r.Entries(),
+	}
+	return d
+}

@@ -1,0 +1,72 @@
+package flight
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+)
+
+// logHandler tees structured log lines into the flight ring before
+// delegating to the real handler, so the dump interleaves what the
+// process *said* with what it *did*. The captured line is the message
+// plus key=val attrs rendered flat; the "trace" attr (the convention all
+// daemons already follow for request-scoped lines) additionally lands in
+// the entry's Trace slot, so a dump greps by correlation id.
+type logHandler struct {
+	inner slog.Handler
+	rec   *Recorder
+	// attrs are the handler-level attrs accumulated via WithAttrs,
+	// pre-rendered; trace is the trace id found among them, if any.
+	attrs string
+	trace string
+}
+
+// NewLogHandler wraps inner so every record also lands in rec's ring.
+// Log capture is off the hot path (a log line already allocates to
+// render), so this path favors fidelity over zero-alloc.
+func NewLogHandler(inner slog.Handler, rec *Recorder) slog.Handler {
+	return &logHandler{inner: inner, rec: rec}
+}
+
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *logHandler) Handle(ctx context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(r.Message)
+	sb.WriteString(h.attrs)
+	trace := h.trace
+	r.Attrs(func(a slog.Attr) bool {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Value.String())
+		if a.Key == "trace" {
+			trace = a.Value.String()
+		}
+		return true
+	})
+	h.rec.Log(int(r.Level), sb.String(), trace)
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var sb strings.Builder
+	sb.WriteString(h.attrs)
+	trace := h.trace
+	for _, a := range attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Value.String())
+		if a.Key == "trace" {
+			trace = a.Value.String()
+		}
+	}
+	return &logHandler{inner: h.inner.WithAttrs(attrs), rec: h.rec, attrs: sb.String(), trace: trace}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	return &logHandler{inner: h.inner.WithGroup(name), rec: h.rec, attrs: h.attrs, trace: h.trace}
+}

@@ -1,0 +1,71 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mmt/internal/obs"
+)
+
+func TestHistorySamplesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("test_total", "help")
+	g := reg.Gauge("test_depth", "help")
+	c.Inc()
+	g.Set(7)
+
+	h := New("svc", reg, time.Hour, 4) // first sample is synchronous
+	defer h.Close()
+	c.Add(4)
+	h.sample()
+
+	ss := h.Samples()
+	if len(ss) != 2 {
+		t.Fatalf("samples = %d, want 2", len(ss))
+	}
+	if ss[0].Values["test_total"] != 1 || ss[1].Values["test_total"] != 5 {
+		t.Errorf("counter series = %v, %v", ss[0].Values["test_total"], ss[1].Values["test_total"])
+	}
+	if ss[1].Values["test_depth"] != 7 {
+		t.Errorf("gauge = %v", ss[1].Values["test_depth"])
+	}
+	if ss[0].UNS > ss[1].UNS {
+		t.Error("samples out of order")
+	}
+
+	// Bounded: extra samples evict the oldest.
+	for i := 0; i < 10; i++ {
+		h.sample()
+	}
+	ss = h.Samples()
+	if len(ss) != 4 {
+		t.Fatalf("samples after overflow = %d, want 4", len(ss))
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i].UNS < ss[i-1].UNS {
+			t.Error("overflowed samples out of order")
+		}
+	}
+}
+
+func TestHistoryServeHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "help").Inc()
+	h := New("svc", reg, time.Hour, 8)
+	defer h.Close()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/debug/metrics", nil))
+	var resp Response
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Service != "svc" || resp.EveryMS != time.Hour.Milliseconds() || len(resp.Samples) < 2 {
+		t.Errorf("response = %+v", resp)
+	}
+	if resp.Samples[0].Values["x_total"] != 1 {
+		t.Errorf("values = %v", resp.Samples[0].Values)
+	}
+}

@@ -1,0 +1,352 @@
+package profiled
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal reader for the pprof profile.proto wire format —
+// just enough protobuf to turn runtime/pprof output into per-function
+// flat/cumulative totals without importing the (unavailable) pprof
+// module. The fields consumed:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string)
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    1 location_id (repeated uint64), 2 value (repeated int64)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name (string idx)
+//
+// Repeated scalar fields arrive packed (length-delimited) from the Go
+// runtime but the decoder accepts both encodings.
+
+// Parsed is one decoded profile reduced to per-function totals for a
+// single chosen sample value.
+type Parsed struct {
+	// SampleType and Unit name the chosen value, e.g. "cpu"/"nanoseconds"
+	// or "inuse_space"/"bytes".
+	SampleType string
+	Unit       string
+	// Total is the sum of the chosen value across all samples.
+	Total int64
+	// Flat and Cum hold per-function self and inclusive totals.
+	Flat map[string]int64
+	Cum  map[string]int64
+}
+
+type valueType struct{ typ, unit int64 }
+
+type sample struct {
+	locs []uint64
+	vals []int64
+}
+
+type location struct {
+	id    uint64
+	funcs []uint64 // function ids innermost-first (inlined frames)
+}
+
+type function struct {
+	id   uint64
+	name int64
+}
+
+// Parse decodes a (possibly gzipped) pprof protobuf profile and reduces
+// it to per-function totals. The chosen sample value is the last declared
+// sample type — for CPU profiles that is cpu/nanoseconds, for heap
+// profiles inuse_space/bytes — unless preferType names one present in the
+// profile ("" keeps the default).
+func Parse(data []byte, preferType string) (*Parsed, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profiled: gunzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("profiled: gunzip: %w", err)
+		}
+	}
+
+	var (
+		types   []valueType
+		samples []sample
+		locs    = make(map[uint64][]uint64) // location id -> function ids
+		funcs   = make(map[uint64]int64)    // function id -> name idx
+		strs    []string
+	)
+	err := walkFields(data, func(field int, wire int, varint uint64, payload []byte) error {
+		switch field {
+		case 1: // sample_type
+			var vt valueType
+			if err := walkFields(payload, func(f, w int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					vt.typ = int64(v)
+				case 2:
+					vt.unit = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			types = append(types, vt)
+		case 2: // sample
+			var s sample
+			if err := walkFields(payload, func(f, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					if w == 2 {
+						return walkPacked(p, func(u uint64) { s.locs = append(s.locs, u) })
+					}
+					s.locs = append(s.locs, v)
+				case 2:
+					if w == 2 {
+						return walkPacked(p, func(u uint64) { s.vals = append(s.vals, int64(u)) })
+					}
+					s.vals = append(s.vals, int64(v))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			var loc location
+			if err := walkFields(payload, func(f, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					loc.id = v
+				case 4: // line
+					return walkFields(p, func(lf, lw int, lv uint64, _ []byte) error {
+						if lf == 1 {
+							loc.funcs = append(loc.funcs, lv)
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locs[loc.id] = loc.funcs
+		case 5: // function
+			var fn function
+			if err := walkFields(payload, func(f, w int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					fn.id = v
+				case 2:
+					fn.name = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcs[fn.id] = fn.name
+		case 6: // string_table
+			strs = append(strs, string(payload))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(types) == 0 || len(strs) == 0 {
+		return nil, fmt.Errorf("profiled: no sample types in profile")
+	}
+
+	str := func(i int64) string {
+		if i >= 0 && int(i) < len(strs) {
+			return strs[i]
+		}
+		return "?"
+	}
+	// Pick the value column: the last sample type by convention, or the
+	// preferred one when present.
+	vi := len(types) - 1
+	if preferType != "" {
+		for i, vt := range types {
+			if str(vt.typ) == preferType {
+				vi = i
+				break
+			}
+		}
+	}
+
+	p := &Parsed{
+		SampleType: str(types[vi].typ),
+		Unit:       str(types[vi].unit),
+		Flat:       make(map[string]int64),
+		Cum:        make(map[string]int64),
+	}
+	seen := make(map[string]bool)
+	for _, s := range samples {
+		if vi >= len(s.vals) {
+			continue
+		}
+		v := s.vals[vi]
+		if v == 0 || len(s.locs) == 0 {
+			continue
+		}
+		p.Total += v
+		// Leaf attribution: the first location's innermost frame.
+		if fns := locs[s.locs[0]]; len(fns) > 0 {
+			p.Flat[funcName(str, funcs, fns[0])] += v
+		}
+		// Inclusive attribution: every distinct function on the stack.
+		clear(seen)
+		for _, lid := range s.locs {
+			for _, fid := range locs[lid] {
+				name := funcName(str, funcs, fid)
+				if !seen[name] {
+					seen[name] = true
+					p.Cum[name] += v
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func funcName(str func(int64) string, funcs map[uint64]int64, id uint64) string {
+	if idx, ok := funcs[id]; ok {
+		return str(idx)
+	}
+	return fmt.Sprintf("func-%d", id)
+}
+
+// walkFields iterates a protobuf message's fields. For varint fields fn
+// receives the value in varint; for length-delimited fields the payload
+// bytes; fixed32/fixed64 are skipped (the profile fields we read never
+// use them).
+func walkFields(data []byte, fn func(field, wire int, varint uint64, payload []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profiled: truncated field key")
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("profiled: truncated varint (field %d)", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("profiled: truncated fixed64 (field %d)", field)
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("profiled: truncated bytes (field %d)", field)
+			}
+			payload := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := fn(field, wire, 0, payload); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("profiled: truncated fixed32 (field %d)", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("profiled: unsupported wire type %d (field %d)", wire, field)
+		}
+	}
+	return nil
+}
+
+// walkPacked iterates a packed repeated varint payload.
+func walkPacked(data []byte, fn func(uint64)) error {
+	for len(data) > 0 {
+		v, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profiled: truncated packed varint")
+		}
+		fn(v)
+		data = data[n:]
+	}
+	return nil
+}
+
+// uvarint decodes one base-128 varint; n <= 0 on truncation.
+func uvarint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// Frame is one function's row in a merged top-frames report.
+type Frame struct {
+	Function string `json:"function"`
+	Flat     int64  `json:"flat"`
+	Cum      int64  `json:"cum"`
+}
+
+// TopReport summarizes one or more parsed profiles of the same kind.
+type TopReport struct {
+	Kind     string  `json:"kind"`
+	Unit     string  `json:"unit"`
+	Captures int     `json:"captures"`
+	Total    int64   `json:"total"`
+	Frames   []Frame `json:"frames"`
+}
+
+// Top merges parsed profiles (summing per-function values) and returns
+// the hottest frames by flat value, at most limit (<= 0 means 30).
+func Top(kind string, parsed []*Parsed, limit int) TopReport {
+	if limit <= 0 {
+		limit = 30
+	}
+	r := TopReport{Kind: kind, Captures: len(parsed)}
+	flat := make(map[string]int64)
+	cum := make(map[string]int64)
+	for _, p := range parsed {
+		if p == nil {
+			continue
+		}
+		r.Unit = p.Unit
+		r.Total += p.Total
+		for f, v := range p.Flat { // mmtvet:ok — merged into a map, sorted below
+			flat[f] += v
+		}
+		for f, v := range p.Cum { // mmtvet:ok — merged into a map, sorted below
+			cum[f] += v
+		}
+	}
+	for f := range cum { // mmtvet:ok — sorted below
+		r.Frames = append(r.Frames, Frame{Function: f, Flat: flat[f], Cum: cum[f]})
+	}
+	sort.Slice(r.Frames, func(i, j int) bool {
+		if r.Frames[i].Flat != r.Frames[j].Flat {
+			return r.Frames[i].Flat > r.Frames[j].Flat
+		}
+		if r.Frames[i].Cum != r.Frames[j].Cum {
+			return r.Frames[i].Cum > r.Frames[j].Cum
+		}
+		return r.Frames[i].Function < r.Frames[j].Function
+	})
+	if len(r.Frames) > limit {
+		r.Frames = r.Frames[:limit]
+	}
+	return r
+}

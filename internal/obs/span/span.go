@@ -189,10 +189,11 @@ const DefaultCapacity = 4096
 type Tracer struct {
 	service string
 
-	mu      sync.Mutex
-	buf     []Record
-	next    int // overwrite cursor once the ring is full
-	dropped uint64
+	mu       sync.Mutex
+	buf      []Record
+	next     int // overwrite cursor once the ring is full
+	dropped  uint64
+	observer func(Record)
 }
 
 // NewTracer returns a tracer whose spans carry the given service label
@@ -234,18 +235,35 @@ func (t *Tracer) StartAt(parent SpanContext, name string, at time.Time) *Span {
 	return &Span{tracer: t, sc: sc, name: name, start: at}
 }
 
+// SetObserver registers fn to receive every finished span record after it
+// lands in the ring — the flight recorder hooks here so span completions
+// interleave with events and log lines in the black box. fn runs on the
+// goroutine that ended the span and must be fast; nil unregisters.
+func (t *Tracer) SetObserver(fn func(Record)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
+}
+
 // push stores a finished span, overwriting the oldest once full.
 func (t *Tracer) push(r Record) {
 	r.Service = t.service
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, r)
-		return
+	} else {
+		t.buf[t.next] = r
+		t.next = (t.next + 1) % len(t.buf)
+		t.dropped++
 	}
-	t.buf[t.next] = r
-	t.next = (t.next + 1) % len(t.buf)
-	t.dropped++
+	fn := t.observer
+	t.mu.Unlock()
+	if fn != nil {
+		fn(r)
+	}
 }
 
 // Dropped returns how many finished spans the ring has overwritten.

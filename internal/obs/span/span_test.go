@@ -294,3 +294,26 @@ func TestContextPropagation(t *testing.T) {
 		t.Fatal("empty context should carry no span")
 	}
 }
+
+func TestObserverSeesFinishedSpans(t *testing.T) {
+	tr := NewTracer("svc", 4)
+	var got []Record
+	tr.SetObserver(func(r Record) { got = append(got, r) })
+	sp := tr.Start(SpanContext{TraceID: "t-obs"}, "work")
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.End() // idempotent: observer fires once
+	if len(got) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(got))
+	}
+	if got[0].Name != "work" || got[0].TraceID != "t-obs" || got[0].Service != "svc" {
+		t.Errorf("observed record = %+v", got[0])
+	}
+	tr.SetObserver(nil)
+	tr.Start(SpanContext{}, "more").End()
+	if len(got) != 1 {
+		t.Error("unregistered observer still called")
+	}
+	var nilTracer *Tracer
+	nilTracer.SetObserver(func(Record) {}) // must not panic
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	"mmt/internal/obs/flight"
 	"mmt/internal/obs/span"
 	"mmt/internal/sim"
 )
@@ -108,6 +110,16 @@ type Options struct {
 	// worker (or cancellation-watcher) goroutine: keep it fast and do not
 	// call back into the pool.
 	OnComplete func(Completion)
+	// Flight, when non-nil, is the process's black-box ring: a captured
+	// worker panic is recorded there with the offending job's task key
+	// and trace id, and — when FlightDumpDir is set — the whole ring is
+	// dumped to disk so the moments leading up to the panic survive the
+	// process. Fan the same recorder into Trace (obs.Multi) to keep the
+	// job timeline in the ring too.
+	Flight *flight.Recorder
+	// FlightDumpDir is where panic-triggered flight dumps land (empty
+	// disables dumping; the ring entry is still recorded).
+	FlightDumpDir string
 }
 
 // job is one scheduled task and its future outcome.
@@ -430,7 +442,7 @@ func (p *Pool) run(j *job, wid int) {
 	var err error
 	retries := 0
 	for attempt := 0; ; attempt++ {
-		out, err = p.attempt(task)
+		out, err = p.attempt(task, j.key)
 		if err == nil || attempt >= p.opts.Retries || p.ctx.Err() != nil {
 			break
 		}
@@ -535,8 +547,10 @@ func (p *Pool) remoteLoad(j *job, sc span.SpanContext) (*sim.Outcome, bool) {
 }
 
 // attempt runs the task once on a fresh goroutine, converting panics into
-// errors and enforcing the per-attempt timeout.
-func (p *Pool) attempt(t sim.Task) (*sim.Outcome, error) {
+// errors and enforcing the per-attempt timeout. key is the task's
+// content-addressed identity, recorded with the panic so the flight dump
+// names the exact experiment to replay.
+func (p *Pool) attempt(t sim.Task, key string) (*sim.Outcome, error) {
 	type result struct {
 		out *sim.Outcome
 		err error
@@ -545,6 +559,7 @@ func (p *Pool) attempt(t sim.Task) (*sim.Outcome, error) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
+				p.notePanic(t, key, r)
 				ch <- result{nil, fmt.Errorf("runner: job %s panicked: %v\n%s", t.Name(), r, debug.Stack())}
 			}
 		}()
@@ -564,6 +579,31 @@ func (p *Pool) attempt(t sim.Task) (*sim.Outcome, error) {
 		return nil, fmt.Errorf("runner: job %s timed out after %v (simulation goroutine abandoned)", t.Name(), p.opts.Timeout)
 	case <-p.ctx.Done():
 		return nil, p.ctx.Err()
+	}
+}
+
+// notePanic lands a captured worker panic in the flight ring — with the
+// offending job's task key and trace id — and dumps the ring to disk so
+// the black box survives even if the process goes down next. Best-effort:
+// panic capture must never introduce a second failure mode.
+func (p *Pool) notePanic(t sim.Task, key string, r any) {
+	fl := p.opts.Flight
+	if fl == nil {
+		return
+	}
+	fl.Panic(t.Name(), key, t.TraceID, fmt.Sprint(r))
+	if p.opts.FlightDumpDir == "" {
+		return
+	}
+	path := flight.DumpPath(p.opts.FlightDumpDir, fl.Service(), os.Getpid())
+	if err := fl.WriteDump(path, "panic in job "+t.Name()); err != nil {
+		if p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runner: flight dump for panicked job %s failed: %v\n", t.Name(), err)
+		}
+		return
+	}
+	if p.opts.Progress != nil {
+		fmt.Fprintf(p.opts.Progress, "runner: job %s panicked; flight dump written to %s\n", t.Name(), path)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mmt/internal/core"
+	"mmt/internal/obs/flight"
 	"mmt/internal/prog"
 	"mmt/internal/sim"
 	"mmt/internal/workloads"
@@ -435,4 +436,64 @@ func mustApp(t *testing.T, name string) workloads.App {
 		t.Fatalf("missing app %s", name)
 	}
 	return a
+}
+
+// TestPanicLandsInFlightRecorder is the regression test for the black-box
+// contract: a captured worker panic records the offending job's task key
+// and trace id in the flight ring and dumps the ring to disk.
+func TestPanicLandsInFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	fl := flight.New("runner-test", 64)
+	p := newPool(t, context.Background(), Options{
+		Workers:       1,
+		Flight:        fl,
+		FlightDumpDir: dir,
+		Trace:         fl, // the job timeline shares the ring
+	})
+	bomb := sim.Task{
+		App:     mustApp(t, "libsvm"),
+		Preset:  sim.PresetBase,
+		Threads: 2,
+		Variant: "test:flight-panic",
+		TraceID: "t-flight-1",
+		Build:   func() (*prog.System, error) { panic("flight boom") },
+	}
+	key, err := bomb.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Do(bomb); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic error = %v", err)
+	}
+
+	var panics []flight.Entry
+	for _, e := range fl.Entries() {
+		if e.Kind == flight.KindPanic {
+			panics = append(panics, e)
+		}
+	}
+	if len(panics) != 1 {
+		t.Fatalf("panic entries = %d, want 1", len(panics))
+	}
+	if panics[0].Trace != "t-flight-1" || !strings.Contains(panics[0].Err, "flight boom") {
+		t.Errorf("panic entry = %+v", panics[0])
+	}
+
+	path := flight.DumpPath(dir, "runner-test", os.Getpid())
+	d, err := flight.ReadDump(path)
+	if err != nil {
+		t.Fatalf("panic did not leave a flight dump: %v", err)
+	}
+	if !strings.Contains(d.Reason, "panicked") && !strings.Contains(d.Reason, "panic") {
+		t.Errorf("dump reason = %q", d.Reason)
+	}
+	var keyed bool
+	for _, e := range d.Entries {
+		if e.Kind == flight.KindMark && strings.Contains(e.Name, key) {
+			keyed = true
+		}
+	}
+	if !keyed {
+		t.Errorf("dump does not name the panicked task key %s", key)
+	}
 }

@@ -169,6 +169,7 @@ func (s *Server) submit(req SubmitRequest, parent span.SpanContext) (JobStatus, 
 		if s.met != nil {
 			s.met.deduped.Inc()
 		}
+		s.opts.Flight.Admit(j.id, "dedup", j.traceID)
 		return s.snapshotLocked(j, now), nil
 	}
 
@@ -177,6 +178,7 @@ func (s *Server) submit(req SubmitRequest, parent span.SpanContext) (JobStatus, 
 		if s.met != nil {
 			s.met.rejected.Inc()
 		}
+		s.opts.Flight.Admit("", "rejected", req.TraceID)
 		return JobStatus{}, &httpError{
 			status:     http.StatusTooManyRequests,
 			msg:        "admission queue full",
@@ -200,6 +202,7 @@ func (s *Server) submit(req SubmitRequest, parent span.SpanContext) (JobStatus, 
 	if s.met != nil {
 		s.met.queueDepth.Set(int64(len(s.queue)))
 	}
+	s.opts.Flight.Admit(j.id, "queued", j.traceID)
 	s.cond.Signal()
 	return s.snapshotLocked(j, now), nil
 }
@@ -352,6 +355,7 @@ func (s *Server) resolveFlightLocked(f *flight, raw []byte, err error, source st
 			}
 		}
 		s.jobLatency.ObserveWithExemplar(now.Sub(j.submitted), j.traceID)
+		s.opts.Flight.Complete(j.id, j.traceID, now.Sub(j.submitted), j.errMsg)
 		close(j.done)
 	}
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmt/internal/obs"
+	obsflight "mmt/internal/obs/flight"
+	"mmt/internal/obs/span"
+)
+
+// TestDebugEndpointsUnderConcurrentLoad hammers /metrics, /v1/spans and
+// /v1/debug/flight while jobs flow through the server. Run under -race
+// this is the regression test for scrape-vs-serve data races.
+func TestDebugEndpointsUnderConcurrentLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := span.NewTracer("serve-test", 512)
+	fl := obsflight.New("serve-test", 256)
+	_, hs := startServer(t, Options{
+		Metrics: reg,
+		Tracer:  tracer,
+		Flight:  fl,
+		Debug: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+		}),
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	scrape := func(path string, check func(t *testing.T, body []byte)) {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			resp, err := http.Get(hs.URL + path)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s: %d: %s", path, resp.StatusCode, body)
+				return
+			}
+			if check != nil {
+				check(t, body)
+			}
+		}
+	}
+	wg.Add(3)
+	go scrape("/metrics", func(t *testing.T, body []byte) {
+		if !strings.Contains(string(body), "mmt_serve_jobs_submitted_total") {
+			t.Error("/metrics missing serve counters")
+		}
+	})
+	go scrape("/v1/spans", nil)
+	go scrape("/v1/debug/flight", nil)
+
+	// Drive load while the scrapers run: distinct tasks plus duplicates.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		st, resp := postJob(t, hs.URL, SubmitRequest{Task: cheapSpec(20000 + uint64(i%3)*1000)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, hs.URL, id)
+	}
+	// Let the scrapers observe the fully-settled state at least once more.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// The flight ring saw every admission and completion edge.
+	var admits, completes int
+	for _, e := range fl.Entries() {
+		switch e.Kind {
+		case obsflight.KindAdmit:
+			admits++
+		case obsflight.KindComplete:
+			completes++
+		}
+	}
+	if admits < 6 || completes < 6 {
+		t.Errorf("flight edges: %d admits, %d completes, want >= 6 each", admits, completes)
+	}
+
+	// The live endpoint serves a renderable dump.
+	resp, err := http.Get(hs.URL + "/v1/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d obsflight.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Service != "serve-test" || len(d.Entries) == 0 {
+		t.Errorf("flight dump = service %q, %d entries", d.Service, len(d.Entries))
+	}
+
+	// The Debug prefix handler is mounted and the exact flight route wins.
+	resp2, err := http.Get(hs.URL + "/v1/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body), `"ok":true`) {
+		t.Errorf("debug prefix body = %s", body)
+	}
+}

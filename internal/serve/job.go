@@ -184,5 +184,6 @@ func (s *Server) expireLocked(j *Job, now time.Time) {
 	if s.met != nil {
 		s.met.expired.Inc()
 	}
+	s.opts.Flight.Complete(j.id, j.traceID, now.Sub(j.submitted), j.errMsg)
 	close(j.done)
 }

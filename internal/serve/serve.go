@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"mmt/internal/obs"
+	obsflight "mmt/internal/obs/flight"
 	"mmt/internal/obs/span"
 	"mmt/internal/runner"
 	"mmt/internal/sim"
@@ -88,6 +89,15 @@ type Options struct {
 	// Log, when non-nil, receives structured request-scoped log lines
 	// stamped with trace/span ids. Nil discards them.
 	Log *slog.Logger
+	// Flight, when non-nil, is the process flight recorder: admission and
+	// completion edges land in its ring and it is served at
+	// GET /v1/debug/flight. It is shared with the runner pool (for panic
+	// capture) unless the pool brings its own.
+	Flight *obsflight.Recorder
+	// Debug, when non-nil, is mounted under GET /v1/debug/ — continuous
+	// profiles, metrics history, resolved config. The flight ring's exact
+	// route wins over this prefix.
+	Debug http.Handler
 }
 
 // Server is the job server. It implements http.Handler; the caller owns
@@ -157,6 +167,9 @@ func New(ctx context.Context, opts Options) (*Server, error) {
 	}
 	if opts.Tracer != nil && opts.Runner.Tracer == nil {
 		opts.Runner.Tracer = opts.Tracer
+	}
+	if opts.Flight != nil && opts.Runner.Flight == nil {
+		opts.Runner.Flight = opts.Flight
 	}
 	if opts.Log == nil {
 		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
