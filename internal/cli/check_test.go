@@ -20,6 +20,10 @@ func TestRunCheckNegativeFixtures(t *testing.T) {
 		{"bad_unreachable.s", "unreachable"},
 		{"bad_read_before_write.s", "read-before-write"},
 		{"bad_store_to_text.s", "store-to-text"},
+		{"bad_oob_access.s", "oob-access"},
+		{"bad_dead_store.s", "dead-store"},
+		{"bad_unbounded_loop.s", "unbounded-loop"},
+		{"bad_div_zero.s", "div-by-zero"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -32,6 +36,80 @@ func TestRunCheckNegativeFixtures(t *testing.T) {
 				t.Errorf("output does not name %s:\n%s", tc.code, out.String())
 			}
 		})
+	}
+}
+
+// TestRunCheckAbsintFixturesFailOnError: the abstract-interpretation
+// lints report their seeded defects at error severity, so they must trip
+// even the strictest gate.
+func TestRunCheckAbsintFixturesFailOnError(t *testing.T) {
+	for _, file := range []string{"bad_oob_access.s", "bad_dead_store.s", "bad_unbounded_loop.s", "bad_div_zero.s"} {
+		t.Run(file, func(t *testing.T) {
+			var out bytes.Buffer
+			err := RunCheck([]string{"-src", filepath.Join("testdata", file), "-report=false", "-fail-on", "error"}, &out)
+			if err == nil {
+				t.Fatalf("seeded defect accepted at -fail-on error:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestRunCheckSARIF: the SARIF surface is valid 2.1.0-shaped JSON with
+// one result per finding and a rule entry per distinct code.
+func TestRunCheckSARIF(t *testing.T) {
+	var out bytes.Buffer
+	err := RunCheck([]string{"-src", filepath.Join("testdata", "bad_div_zero.s"), "-format", "sarif", "-fail-on", "never"}, &out)
+	if err != nil {
+		t.Fatalf("sarif run failed: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mmtcheck" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	found := false
+	for _, res := range run.Results {
+		if res.RuleID == "div-by-zero" && res.Level == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error-level div-by-zero result:\n%s", out.String())
+	}
+	ruleSeen := false
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "div-by-zero" {
+			ruleSeen = true
+		}
+	}
+	if !ruleSeen {
+		t.Error("div-by-zero missing from driver rules")
 	}
 }
 
@@ -98,6 +176,20 @@ func TestRunCheckAgainstProfile(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "cross-validation") {
 		t.Errorf("no cross-validation output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "spearman") {
+		t.Errorf("no predicted-vs-observed correlation line:\n%s", out.String())
+	}
+
+	// The -min-correlation gate: an unattainable floor must fail the run
+	// with a message naming the observed coefficient.
+	out.Reset()
+	err := RunCheck([]string{"-app", "libsvm", "-against-profile", profPath, "-report=false", "-min-correlation", "1.01"}, &out)
+	if err == nil {
+		t.Fatal("-min-correlation 1.01 accepted")
+	}
+	if !strings.Contains(err.Error(), "spearman") {
+		t.Errorf("gate error does not name the correlation: %v", err)
 	}
 }
 

@@ -43,6 +43,7 @@ func runDSE(args []string, stdout, progress io.Writer) error {
 		jobs        = fs.Int("j", runtime.NumCPU(), "parallel evaluations (local backend also sizes its worker pool)")
 		cacheDir    = fs.String("cache-dir", "", "persistent result cache directory for the local backend (empty = disabled)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live mmt_dse_* metrics, expvar and pprof on this address")
+		rank        = fs.String("rank", "", "override the space's static ranker: on orders rung 0 by the absint cost model, off disables it (default: the space decides)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	logf := addLogFlags(fs)
@@ -85,6 +86,20 @@ func runDSE(args []string, stdout, progress io.Writer) error {
 	}
 	if *budget < 0 {
 		return fmt.Errorf("-budget must be non-negative")
+	}
+	switch *rank {
+	case "":
+	case "on":
+		if spec.Filter == nil {
+			spec.Filter = &dse.FilterSpec{}
+		}
+		spec.Filter.Rank = true
+	case "off":
+		if spec.Filter != nil {
+			spec.Filter.Rank = false
+		}
+	default:
+		return fmt.Errorf("-rank must be on or off (got %q)", *rank)
 	}
 
 	opts := dse.Options{

@@ -1,0 +1,152 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mmt/internal/static"
+)
+
+// SARIF 2.1.0 output for mmtcheck, minimal but schema-conforming: one
+// run, one rule per distinct finding code, one result per finding. CI
+// uploads the file so findings annotate pull requests.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	// Name is the finding's PC rendered as hex — the closest thing an
+	// assembled program has to a source coordinate.
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// sarifLevel maps the static severity scale onto SARIF's.
+func sarifLevel(s static.Severity) string {
+	switch s {
+	case static.SevError:
+		return "error"
+	case static.SevWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+// writeSARIF renders the check results as one SARIF run. Rules are the
+// distinct finding codes, sorted, so the index assignment is stable
+// across runs of the same input set.
+func writeSARIF(out io.Writer, results []CheckResult) error {
+	codes := map[string]bool{}
+	for _, r := range results {
+		for _, f := range r.Findings {
+			codes[f.Code] = true
+		}
+		for _, f := range r.CrossVal {
+			codes[f.Code] = true
+		}
+	}
+	ruleIDs := make([]string, 0, len(codes))
+	for c := range codes { // mmtvet:ok — sorted immediately below
+		ruleIDs = append(ruleIDs, c)
+	}
+	sort.Strings(ruleIDs)
+	ruleIndex := map[string]int{}
+	rules := make([]sarifRule, len(ruleIDs))
+	for i, id := range ruleIDs {
+		ruleIndex[id] = i
+		rules[i] = sarifRule{ID: id, ShortDescription: sarifMessage{
+			Text: strings.ReplaceAll(id, "-", " "),
+		}}
+	}
+
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  "mmtcheck",
+			Rules: rules,
+		}},
+		Results: []sarifResult{},
+	}
+	emit := func(program string, f static.Finding, crossval bool) {
+		msg := f.Msg
+		if crossval {
+			msg = "cross-validation: " + msg
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    f.Code,
+			RuleIndex: ruleIndex[f.Code],
+			Level:     sarifLevel(f.Sev),
+			Message:   sarifMessage{Text: fmt.Sprintf("%s: %s", program, msg)},
+			Locations: []sarifLocation{{
+				PhysicalLocation: &sarifPhysical{ArtifactLocation: sarifArtifact{URI: program}},
+				LogicalLocations: []sarifLogical{{Name: fmt.Sprintf("%#x", f.PC), Kind: "instruction"}},
+			}},
+		})
+	}
+	for _, r := range results {
+		for _, f := range r.Findings {
+			emit(r.Program, f, false)
+		}
+		for _, f := range r.CrossVal {
+			emit(r.Program, f, true)
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

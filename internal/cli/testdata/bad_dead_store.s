@@ -1,0 +1,8 @@
+; seeded defect: the first store to the data base is overwritten by the
+; second before anything loads it (mmtcheck: dead-store, error)
+        li   r4, 0x100000
+        li   r5, 1
+        li   r6, 2
+        st   r5, 0(r4)
+        st   r6, 0(r4)
+        halt

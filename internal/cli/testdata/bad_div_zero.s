@@ -1,0 +1,6 @@
+; seeded defect: the divisor register is the hardwired zero, so the
+; quotient is architecturally -1 on every path
+; (mmtcheck: div-by-zero, error)
+        li   r4, 7
+        div  r5, r4, r0
+        halt

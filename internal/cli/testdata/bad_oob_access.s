@@ -1,0 +1,6 @@
+; seeded defect: the load's value-set address (0x2000) lies past the end
+; of the text segment and below the data segment, so no mapped memory
+; can back it (mmtcheck: oob-access, error)
+        li   r4, 0x2000
+        ld   r5, 0(r4)
+        halt

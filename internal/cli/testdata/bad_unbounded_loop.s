@@ -1,0 +1,6 @@
+; seeded defect: the loop body has no exit edge and no halting
+; terminator — the program can never leave it
+; (mmtcheck: unbounded-loop, error)
+        tid  r4
+spin:   addi r4, r4, 1
+        j    spin

@@ -2,9 +2,11 @@ package dse
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -182,7 +184,7 @@ func TestSpecValidation(t *testing.T) {
 // --- Static filter -----------------------------------------------------
 
 func TestStaticFilterMonotone(t *testing.T) {
-	f, err := NewStaticFilter([]string{"libsvm", "twolf"}, 0.5)
+	f, err := NewStaticFilter([]string{"libsvm", "twolf"}, 0.5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,6 +199,125 @@ func TestStaticFilterMonotone(t *testing.T) {
 	}
 	if cs < 0 || cs > 1 {
 		t.Errorf("coverage %v outside [0,1]", cs)
+	}
+}
+
+// TestStaticFilterOrderInsensitive: the filter holds per-app statics
+// sorted by name, so construction order cannot leak into coverage,
+// scores, or rejection reasons.
+func TestStaticFilterOrderInsensitive(t *testing.T) {
+	f1, err := NewStaticFilter([]string{"libsvm", "twolf", "equake"}, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewStaticFilter([]string{"twolf", "equake", "libsvm"}, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []sim.ConfigOverride{
+		{FHBSize: 4, FetchWidth: 2},
+		{FHBSize: 32, FetchWidth: 8, LVIPSize: 1024},
+		{FHBSize: 256, FetchWidth: 8},
+	} {
+		o := o
+		if c1, c2 := f1.Coverage(&o), f2.Coverage(&o); c1 != c2 {
+			t.Errorf("coverage depends on construction order: %v vs %v", c1, c2)
+		}
+		if s1, s2 := f1.Score(&o), f2.Score(&o); s1 != s2 {
+			t.Errorf("score depends on construction order: %v vs %v", s1, s2)
+		}
+		if r1, r2 := f1.Reject(&o), f2.Reject(&o); r1 != r2 {
+			t.Errorf("rejection reason depends on construction order: %q vs %q", r1, r2)
+		}
+	}
+}
+
+// rankedSpec is a halving space with enough spread for the ranker to
+// reorder rung 0.
+func rankedSpec(rank bool) *Spec {
+	var filter *FilterSpec
+	if rank {
+		filter = &FilterSpec{Rank: true}
+	}
+	return &Spec{
+		Name:    "rank-test",
+		Sampler: "halving",
+		Rungs:   []uint64{1000, 2000},
+		Eta:     2,
+		Dimensions: []Dimension{
+			{Name: "fhb_size", Values: []int{2, 8, 32, 128}},
+			{Name: "fetch_width", Values: []int{2, 8}},
+		},
+		Filter: filter,
+	}
+}
+
+// TestRankedFrontierIdentity is the acceptance property of the static
+// ranker: under a full budget it must produce a byte-identical frontier
+// to the unranked run of the same (spec, seed, budget) while evaluating
+// exactly as many points — ranking reorders rung 0, it never changes
+// what is evaluated or what survives.
+func TestRankedFrontierIdentity(t *testing.T) {
+	run := func(rank bool) *Study {
+		st, err := Search(context.Background(), Options{
+			Spec: rankedSpec(rank), Seed: 3, Backend: newCountingBackend(),
+			Workloads: []string{"libsvm"}, Concurrency: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain, ranked := run(false), run(true)
+	if got, want := fmt.Sprint(ranked.Frontier), fmt.Sprint(plain.Frontier); got != want {
+		t.Errorf("ranked frontier %s differs from unranked %s", got, want)
+	}
+	if ranked.Budget.Evaluations != plain.Budget.Evaluations {
+		t.Errorf("ranked run evaluated %d points, unranked %d",
+			ranked.Budget.Evaluations, plain.Budget.Evaluations)
+	}
+	// Same evaluated sets per rung, possibly in a different order.
+	sets := func(st *Study) map[int][]string {
+		m := map[int][]string{}
+		for i := range st.Points {
+			p := &st.Points[i]
+			m[p.Rung] = append(m[p.Rung], p.ID)
+		}
+		for r := range m {
+			sort.Strings(m[r])
+		}
+		return m
+	}
+	sp, sr := sets(plain), sets(ranked)
+	if len(sp) != len(sr) {
+		t.Fatalf("rung counts differ: %d vs %d", len(sp), len(sr))
+	}
+	for r := range sp {
+		if fmt.Sprint(sp[r]) != fmt.Sprint(sr[r]) {
+			t.Errorf("rung %d evaluated sets differ:\nunranked %v\nranked   %v", r, sp[r], sr[r])
+		}
+	}
+}
+
+// TestRankedStudyByteIdentity: with the ranker on, repeated runs of the
+// same (spec, seed, budget) still produce byte-identical artifacts.
+func TestRankedStudyByteIdentity(t *testing.T) {
+	run := func() []byte {
+		st, err := Search(context.Background(), Options{
+			Spec: rankedSpec(true), Seed: 9, Backend: newCountingBackend(),
+			Workloads: []string{"libsvm", "twolf"}, Concurrency: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MarshalStudy(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if b1, b2 := run(), run(); string(b1) != string(b2) {
+		t.Error("two ranked runs differ byte for byte")
 	}
 }
 

@@ -2,58 +2,82 @@ package dse
 
 import (
 	"fmt"
+	"sort"
 
-	"mmt/internal/asm"
 	"mmt/internal/sim"
-	"mmt/internal/static"
+	"mmt/internal/static/absint"
 	"mmt/internal/workloads"
 )
 
 // StaticFilter is the cheap first evaluation stage: before spending a
 // simulation on a candidate, it checks the candidate's FHB against the
-// workloads' statically predicted reconvergence spans (internal/static).
-// The FHB holds fetched blocks for the trailing thread to replay; a
-// diverged region whose span exceeds what the FHB can buffer forces a
-// refetch, so a configuration whose window covers too few of the
-// predicted spans cannot profit from MMT's sharing and is rejected
-// without touching the simulator. Analysis runs once per workload and is
-// shared by every candidate, so filtering a point costs a few integer
-// comparisons.
+// workloads' statically predicted reconvergence spans and — when ranking
+// is enabled — scores the candidate with the abstract-interpretation
+// cost model (absint.Estimate), so successive-halving rung 0 starts from
+// the statically best points. Analysis runs once per workload and is
+// shared by every candidate; per-app results are held sorted by workload
+// name, so every derived number and reason string is deterministic
+// regardless of construction order.
 type StaticFilter struct {
-	min   float64
-	spans []int64 // |reconvergence span| of every entry across the workloads
+	min  float64
+	rank bool
+	// apps is sorted by name; spans and estimates aggregate in that
+	// order, so float accumulation is reproducible.
+	apps []appStatics
+}
+
+type appStatics struct {
+	name string
+	// spans are the |reconvergence span| of the app's report entries.
+	spans []int64
+	est   *absint.Estimate
 }
 
 // NewStaticFilter statically analyzes the named workloads and returns a
-// filter rejecting points below the given coverage.
-func NewStaticFilter(apps []string, minCoverage float64) (*StaticFilter, error) {
-	f := &StaticFilter{min: minCoverage}
-	for _, name := range apps {
+// filter rejecting points below minCoverage; with rank set it also
+// prepares the cost-model estimates behind Score.
+func NewStaticFilter(apps []string, minCoverage float64, rank bool) (*StaticFilter, error) {
+	f := &StaticFilter{min: minCoverage, rank: rank}
+	names := append([]string(nil), apps...)
+	sort.Strings(names)
+	for _, name := range names {
 		a, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("dse: unknown workload %q", name)
 		}
-		p, err := asm.Assemble(a.Name, a.Source)
+		r, err := absint.AnalyzeApp(a, 2)
 		if err != nil {
-			return nil, fmt.Errorf("dse: assembling %s: %w", a.Name, err)
+			return nil, fmt.Errorf("dse: analyzing %s: %w", a.Name, err)
 		}
-		for _, e := range static.Analyze(p).BuildReport().Reconv {
+		as := appStatics{name: name}
+		for _, e := range r.A.BuildReport().Reconv {
 			span := e.Span
 			if span < 0 {
 				span = -span
 			}
-			f.spans = append(f.spans, span)
+			as.spans = append(as.spans, span)
 		}
+		if rank {
+			as.est = absint.EstimateOf(r)
+		}
+		f.apps = append(f.apps, as)
 	}
 	return f, nil
 }
+
+// Ranking reports whether the filter carries cost-model estimates.
+func (f *StaticFilter) Ranking() bool { return f != nil && f.rank }
 
 // Coverage returns the fraction of reconvergence entries whose span fits
 // in the candidate's FHB: a span of n instructions occupies
 // ceil(n/fetchWidth) fetch-block entries. Workloads without branches
 // contribute nothing; a span-free program set covers trivially (1.0).
 func (f *StaticFilter) Coverage(o *sim.ConfigOverride) float64 {
-	if len(f.spans) == 0 {
+	total := 0
+	for i := range f.apps {
+		total += len(f.apps[i].spans)
+	}
+	if total == 0 {
 		return 1.0
 	}
 	fhb, width := o.FHBSize, o.FetchWidth
@@ -64,13 +88,15 @@ func (f *StaticFilter) Coverage(o *sim.ConfigOverride) float64 {
 		width = 8
 	}
 	covered := 0
-	for _, span := range f.spans {
-		blocks := (span + int64(width) - 1) / int64(width)
-		if blocks <= int64(fhb) {
-			covered++
+	for i := range f.apps {
+		for _, span := range f.apps[i].spans {
+			blocks := (span + int64(width) - 1) / int64(width)
+			if blocks <= int64(fhb) {
+				covered++
+			}
 		}
 	}
-	return float64(covered) / float64(len(f.spans))
+	return float64(covered) / float64(total)
 }
 
 // Reject returns a non-empty reason when the point fails the filter.
@@ -82,4 +108,23 @@ func (f *StaticFilter) Reject(o *sim.ConfigOverride) string {
 		return fmt.Sprintf("static reconvergence coverage %.3f below %.3f", cov, f.min)
 	}
 	return ""
+}
+
+// Score ranks a candidate: the mean predicted throughput score across
+// the workloads minus a small energy-rank penalty, higher is better.
+// Scores only order candidates within one study — they are not IPC.
+func (f *StaticFilter) Score(o *sim.ConfigOverride) float64 {
+	if f == nil || !f.rank || len(f.apps) == 0 {
+		return 0
+	}
+	var tp, en float64
+	for i := range f.apps {
+		t, e := f.apps[i].est.Score(o.FHBSize, o.FetchWidth, o.LVIPSize)
+		tp += t
+		en += e
+	}
+	n := float64(len(f.apps))
+	// The throughput term dominates; the energy term only breaks ties
+	// between configurations the model predicts equal merging for.
+	return tp/n - 0.01*en/n
 }

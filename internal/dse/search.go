@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"sync"
 
 	"mmt/internal/obs"
@@ -139,9 +140,9 @@ func Search(ctx context.Context, opts Options) (*Study, error) {
 	}
 
 	var filter *StaticFilter
-	if spec.Filter != nil && spec.Filter.MinReconvCoverage > 0 {
+	if spec.Filter != nil && (spec.Filter.MinReconvCoverage > 0 || spec.Filter.Rank) {
 		var err error
-		filter, err = NewStaticFilter(apps, spec.Filter.MinReconvCoverage)
+		filter, err = NewStaticFilter(apps, spec.Filter.MinReconvCoverage, spec.Filter.Rank)
 		if err != nil {
 			return nil, err
 		}
@@ -181,6 +182,31 @@ func Search(ctx context.Context, opts Options) (*Study, error) {
 			}
 		}
 		cohort = append(cohort, p)
+	}
+
+	// The static ranker: order rung 0 statically best first. A stable
+	// sort on the pure cost-model score keeps ties in sampler order, so
+	// the attempted order is a deterministic function of (spec, seed).
+	// Under a full budget the evaluated SET is unchanged and promotion is
+	// content-based, so the frontier is byte-identical to an unranked run.
+	if filter.Ranking() {
+		scores := make([]float64, len(cohort))
+		for i := range cohort {
+			scores[i] = filter.Score(&cohort[i].Override)
+		}
+		idx := make([]int, len(cohort))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		ranked := make([]Point, len(cohort))
+		for i, j := range idx {
+			ranked[i] = cohort[j]
+		}
+		cohort = ranked
+		for i := range cohort {
+			fmt.Fprintf(progress, "dse: rank %d: %s (score %.4f)\n", i, cohort[i].ID, scores[idx[i]])
+		}
 	}
 
 	rungs := spec.rungs()

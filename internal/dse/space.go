@@ -95,6 +95,12 @@ type FilterSpec struct {
 	// predicted reconvergence spans across the selected workloads.
 	// 0 disables the filter.
 	MinReconvCoverage float64 `json:"min_reconv_coverage"`
+	// Rank orders the rung-0 cohort by the abstract-interpretation cost
+	// model (absint.Estimate), statically best first. Ranking never
+	// changes which points are evaluated under a full budget — only the
+	// order they are attempted in — so frontiers are unchanged; under a
+	// truncating budget the surviving prefix is the statically best one.
+	Rank bool `json:"rank,omitempty"`
 }
 
 // Spec declares one search space: the machine presets held fixed, the
@@ -362,7 +368,7 @@ func Builtin(name string) (*Spec, bool) {
 				{Name: "lvip_size", Values: []int{256, 1024, 4096}},
 				{Name: "rob_size", Values: []int{128, 256}},
 			},
-			Filter: &FilterSpec{MinReconvCoverage: 0.25},
+			Filter: &FilterSpec{MinReconvCoverage: 0.25, Rank: true},
 		}, true
 	}
 	return nil, false

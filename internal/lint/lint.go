@@ -5,16 +5,24 @@
 // which collapses if a simulation path consults a nondeterministic
 // source. The analyzer walks the import closure of the simulation roots
 // (internal/core, internal/sim, and everything mmt/* they reach) and
-// flags the three classic leaks:
+// flags the classic leaks:
 //
 //   - ranging over a map (iteration order differs run to run);
 //   - time.Now (wall-clock dependent results);
-//   - importing math/rand or math/rand/v2 (unseeded global state).
+//   - importing math/rand or math/rand/v2 (unseeded global state);
+//   - materializing maps.Keys/maps.Values without sorting (the slice
+//     inherits map iteration order);
+//   - floating-point accumulation in non-canonical order (+= on a float
+//     inside a map or channel range: FP addition is not associative, so
+//     even a "commutative" reduction changes bits with the order).
 //
 // A map range whose effect is order-insensitive (the results are sorted
 // immediately afterwards, or it only accumulates a commutative reduction)
-// is suppressed with a "mmtvet:ok" comment on the range line. time.Now
-// and math/rand have no sanctioned use inside the closure.
+// is suppressed with a "mmtvet:ok" comment on the range line; the same
+// annotation on the offending line suppresses the other rules. Note the
+// float rule deliberately fires inside annotated map ranges: an integer
+// sum is commutative, a float sum is not. time.Now and math/rand have no
+// sanctioned use inside the closure.
 package lint
 
 import (
@@ -51,6 +59,8 @@ const (
 	CodeMapRange = "map-range"
 	CodeTimeNow  = "time-now"
 	CodeMathRand = "math-rand"
+	CodeMapKeys  = "map-keys"
+	CodeFPAccum  = "fp-accum"
 )
 
 // Module is the import-path prefix of packages the analyzer follows.
@@ -203,6 +213,7 @@ func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string) ([]
 	info := &types.Info{
 		Types: make(map[ast.Expr]types.TypeAndValue),
 		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
 	}
 	if _, err := conf.Check(path, fset, files, info); err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
@@ -247,8 +258,185 @@ func checkPackage(fset *token.FileSet, imp types.Importer, dir, path string) ([]
 			}
 			return true
 		})
+		checkMapKeys(fset, info, f, okLines, add)
+		checkFPAccum(fset, info, f, okLines, add)
 	}
 	return findings, nil
+}
+
+// calleeOf resolves a call's target to (package path, function name),
+// unwrapping explicit generic instantiation. Non-package calls (methods,
+// locals, builtins) return empty strings.
+func calleeOf(info *types.Info, call *ast.CallExpr) (string, string) {
+	fun := call.Fun
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// isMapsKeys reports whether call is maps.Keys or maps.Values (stdlib or
+// a vendored */maps package with the same shape).
+func isMapsKeys(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name := calleeOf(info, call)
+	if name != "Keys" && name != "Values" {
+		return false
+	}
+	return pkg == "maps" || strings.HasSuffix(pkg, "/maps")
+}
+
+// sortsIdent reports whether stmt sorts id in place: sort.Strings(id),
+// sort.Slice(id, ...), slices.Sort(id), and friends.
+func sortsIdent(info *types.Info, stmt ast.Stmt, id *ast.Ident) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	pkg, name := calleeOf(info, call)
+	isSort := (pkg == "sort" && (strings.HasPrefix(name, "Slice") ||
+		name == "Strings" || name == "Ints" || name == "Float64s")) ||
+		((pkg == "slices" || strings.HasSuffix(pkg, "/slices")) && strings.HasPrefix(name, "Sort"))
+	if !isSort {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && info.ObjectOf(arg) == info.ObjectOf(id)
+}
+
+// checkMapKeys flags maps.Keys/maps.Values materializations that escape
+// unsorted. Sanctioned shapes: the call is wrapped in slices.Sorted /
+// SortedFunc / SortedStableFunc, or the materialized slice is sorted by
+// the very next statement, or the line carries mmtvet:ok.
+func checkMapKeys(fset *token.FileSet, info *types.Info, f *ast.File, okLines map[int]bool,
+	add func(pos token.Pos, code, format string, args ...any)) {
+	sorted := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := calleeOf(info, call); (pkg == "slices" || strings.HasSuffix(pkg, "/slices")) &&
+			strings.HasPrefix(name, "Sorted") {
+			for _, arg := range call.Args {
+				markMapsKeys(info, arg, sorted)
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || i+1 >= len(block.List) || !sortsIdent(info, block.List[i+1], id) {
+				continue
+			}
+			markMapsKeys(info, as.Rhs[0], sorted)
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMapsKeys(info, call) || sorted[call] {
+			return true
+		}
+		if okLines[fset.Position(call.Pos()).Line] {
+			return true
+		}
+		_, name := calleeOf(info, call)
+		add(call.Pos(), CodeMapKeys,
+			"maps.%s materialized without sorting: the slice inherits map iteration order (wrap in slices.Sorted, sort on the next line, or annotate mmtvet:ok)",
+			name)
+		return true
+	})
+}
+
+// markMapsKeys records every maps.Keys/Values call under expr as sorted.
+func markMapsKeys(info *types.Info, expr ast.Expr, sorted map[*ast.CallExpr]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isMapsKeys(info, c) {
+			sorted[c] = true
+		}
+		return true
+	})
+}
+
+// checkFPAccum flags floating-point compound accumulation (+=, -=, *=)
+// inside a map or channel range: the iteration order is nondeterministic
+// and FP addition is not associative, so the accumulated bits differ run
+// to run even when every element is visited. This fires inside map
+// ranges annotated mmtvet:ok — the annotation asserts commutativity,
+// which float addition does not have; suppress on the accumulation line
+// itself if the drift is genuinely acceptable.
+func checkFPAccum(fset *token.FileSet, info *types.Info, f *ast.File, okLines map[int]bool,
+	add func(pos token.Pos, code, format string, args ...any)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		var kind string
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			kind = "map"
+		case *types.Chan:
+			kind = "channel"
+		default:
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			default:
+				return true
+			}
+			lt, ok := info.Types[as.Lhs[0]]
+			if !ok {
+				return true
+			}
+			b, ok := lt.Type.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				return true
+			}
+			if okLines[fset.Position(as.Pos()).Line] {
+				return true
+			}
+			add(as.Pos(), CodeFPAccum,
+				"floating-point accumulation in %s iteration order: FP addition is not associative, so the result bits depend on visit order (accumulate over a sorted slice instead)",
+				kind)
+			return true
+		})
+		return true
+	})
 }
 
 // suppressedLines collects the lines carrying a "mmtvet:ok" annotation.

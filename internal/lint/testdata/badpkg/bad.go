@@ -5,7 +5,10 @@
 package badpkg
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
+	"sort"
 	"time"
 )
 
@@ -25,6 +28,28 @@ func Tally(m map[string]int) (int, []string) {
 
 // Stamp depends on the wall clock (violation).
 func Stamp() int64 { return time.Now().UnixNano() }
+
+// Labels materializes key order three ways: unsorted (violation),
+// wrapped in slices.Sorted (sanctioned), and sorted on the next line
+// (sanctioned).
+func Labels(m map[string]int) ([]string, []string, []string) {
+	unsorted := slices.Collect(maps.Keys(m))
+	wrapped := slices.Sorted(maps.Keys(m))
+	after := slices.Collect(maps.Keys(m))
+	sort.Strings(after)
+	return unsorted, wrapped, after
+}
+
+// Mean accumulates floats in map order (violation): the range
+// annotation silences map-range, but a float sum is not commutative,
+// so fp-accum still fires on the += line.
+func Mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // mmtvet:ok — the annotation does not cover the float sum below
+		sum += v
+	}
+	return sum / float64(len(m))
+}
 
 // Jitter draws from the unseeded global source (import violation).
 func Jitter() int { return rand.Int() }

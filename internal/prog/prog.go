@@ -86,6 +86,21 @@ func (m *Memory) Footprint() uint64 {
 	return uint64(len(m.pages)) * pageBytes
 }
 
+// Pages returns the base addresses of every allocated page, ascending.
+// Static analyses use this to walk an image without knowing its extent.
+func (m *Memory) Pages() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages { // mmtvet:ok — sorted immediately below
+		out = append(out, pn<<pageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageBytes is the allocation granule of Memory, exported for analyses
+// that walk Pages().
+const PageBytes = pageBytes
+
 var _ isa.Memory = (*Memory)(nil)
 
 // Program is a loaded executable: a contiguous text segment plus an initial

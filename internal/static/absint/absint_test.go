@@ -1,0 +1,39 @@
+package absint
+
+import (
+	"testing"
+
+	"mmt/internal/workloads"
+)
+
+// TestEstimateKernels runs the interpreter to fixpoint over every
+// built-in workload and sanity-checks the cost model's invariants.
+func TestEstimateKernels(t *testing.T) {
+	for _, a := range workloads.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			e, err := EstimateApp(a, 2)
+			if err != nil {
+				t.Fatalf("estimate: %v", err)
+			}
+			if e.StaticInsts == 0 {
+				t.Fatal("no reachable instructions")
+			}
+			if e.Redundancy < 0 || e.Redundancy > 1 {
+				t.Fatalf("redundancy %v out of [0,1]", e.Redundancy)
+			}
+			if e.LVIPPotential < 0 || e.LVIPPotential > 1 {
+				t.Fatalf("lvip potential %v out of [0,1]", e.LVIPPotential)
+			}
+			if e.DynInsts < float64(e.StaticInsts) {
+				t.Fatalf("dynamic estimate %v below static count %d", e.DynInsts, e.StaticInsts)
+			}
+			tp, en := e.Score(32, 8, 4096)
+			if tp < 0 || en <= 0 {
+				t.Fatalf("score (%v, %v) out of range", tp, en)
+			}
+			t.Logf("insts=%d dyn=%.0f redundancy=%.3f lvip=%.3f divsites=%d",
+				e.StaticInsts, e.DynInsts, e.Redundancy, e.LVIPPotential, len(e.Divergence))
+		})
+	}
+}

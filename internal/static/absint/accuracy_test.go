@@ -1,0 +1,58 @@
+package absint
+
+import (
+	"testing"
+
+	"mmt/internal/sim"
+	"mmt/internal/workloads"
+)
+
+// minRankCorrelation is the committed accuracy floor of the static cost
+// model: the Spearman rank correlation between predicted and simulated
+// per-workload redundancy across the full kernel suite. The DSE ranker
+// only needs ordering, so rank correlation (not absolute error) is the
+// contract.
+const minRankCorrelation = 0.5
+
+// observedRedundancy simulates one workload on MMT-FXR and returns the
+// committed merged fraction (executed-identical plus register-merged).
+func observedRedundancy(t *testing.T, name string, maxInsts uint64) float64 {
+	t.Helper()
+	spec := sim.TaskSpec{App: name, Preset: sim.PresetMMTFXR, Threads: 2,
+		Config: &sim.ConfigOverride{MaxInsts: maxInsts}}
+	task, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := task.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, eirm, _, _ := out.Result.Stats.IdenticalFractions()
+	return ei + eirm
+}
+
+// TestRedundancyRankCorrelation is the acceptance gate: the static
+// estimate must rank the 16 kernels' redundancy consistently with the
+// simulator (Spearman >= minRankCorrelation).
+func TestRedundancyRankCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	var pred, obs []float64
+	for _, a := range workloads.All() {
+		e, err := EstimateApp(a, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		o := observedRedundancy(t, a.Name, 20_000)
+		pred = append(pred, e.Redundancy)
+		obs = append(obs, o)
+		t.Logf("%-14s predicted=%.3f observed=%.3f", a.Name, e.Redundancy, o)
+	}
+	rho := Spearman(pred, obs)
+	t.Logf("spearman over %d kernels: %.3f", len(pred), rho)
+	if rho < minRankCorrelation {
+		t.Fatalf("rank correlation %.3f below committed floor %.2f", rho, minRankCorrelation)
+	}
+}

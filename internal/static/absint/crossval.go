@@ -1,0 +1,129 @@
+package absint
+
+import (
+	"math"
+	"sort"
+
+	"mmt/internal/prof"
+)
+
+// CrossPoint is one joined (static prediction, dynamic observation)
+// sample: a PC the profiler attributed commits to, paired with the
+// abstract interpreter's predicted merged probability at the same PC.
+type CrossPoint struct {
+	PC uint64 `json:"pc"`
+	// Predicted is the static merged probability of the instruction.
+	Predicted float64 `json:"predicted"`
+	// Observed is the profiled merged-commit fraction
+	// merged / (merged + split + solo) at the PC.
+	Observed float64 `json:"observed"`
+	// Commits weights the sample (total commits attributed to the PC).
+	Commits uint64 `json:"commits"`
+}
+
+// CrossValidation is the joined static-vs-profile comparison of one
+// workload run.
+type CrossValidation struct {
+	App string `json:"app,omitempty"`
+	// Points is the per-PC join, PC ascending. Only PCs present in both
+	// the estimate and the profile participate.
+	Points []CrossPoint `json:"points"`
+	// Spearman is the rank correlation of Predicted vs Observed over
+	// Points (0 when fewer than 3 points or either side is constant).
+	Spearman float64 `json:"spearman"`
+	// PredictedRedundancy and ObservedRedundancy compare the headline
+	// numbers: the static estimate's merged fraction vs the profile's
+	// commit-weighted merged fraction over the joined PCs.
+	PredictedRedundancy float64 `json:"predicted_redundancy"`
+	ObservedRedundancy  float64 `json:"observed_redundancy"`
+}
+
+// CrossValidate joins a static estimate against a simulated profile.
+func CrossValidate(e *Estimate, p *prof.Profile) *CrossValidation {
+	cv := &CrossValidation{App: e.App, PredictedRedundancy: e.Redundancy}
+	pred := map[uint64]float64{}
+	for _, pp := range e.perPC {
+		pred[pp.pc] = pp.merged
+	}
+	var obsW, totW float64
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		total := s.Merged + s.Split + s.Solo
+		if total == 0 {
+			continue
+		}
+		pr, ok := pred[s.PC]
+		if !ok {
+			continue
+		}
+		obs := float64(s.Merged) / float64(total)
+		cv.Points = append(cv.Points, CrossPoint{PC: s.PC, Predicted: pr, Observed: obs, Commits: total})
+		obsW += float64(s.Merged)
+		totW += float64(total)
+	}
+	sort.Slice(cv.Points, func(i, j int) bool { return cv.Points[i].PC < cv.Points[j].PC })
+	if totW > 0 {
+		cv.ObservedRedundancy = obsW / totW
+	}
+	xs := make([]float64, len(cv.Points))
+	ys := make([]float64, len(cv.Points))
+	for i, pt := range cv.Points {
+		xs[i] = pt.Predicted
+		ys[i] = pt.Observed
+	}
+	cv.Spearman = Spearman(xs, ys)
+	return cv
+}
+
+// Spearman computes the Spearman rank correlation of two equal-length
+// samples, with average ranks for ties (Pearson over the rank vectors).
+// It returns 0 for fewer than 3 points or when either side is constant.
+func Spearman(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var num, dx, dy float64
+	for i := 0; i < n; i++ {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// ranks assigns 1-based average ranks (ties share the mean rank).
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+2) / 2 // ranks are 1-based
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,530 @@
+// Package absint is the abstract-interpretation layer on top of the
+// internal/static CFG: a dataflow engine that runs the guest ISA's
+// transfer functions over an interval/stride ("value set") domain per
+// basic block to fixpoint. Where internal/static answers *structural*
+// questions (what dominates what, where branches reconverge), absint
+// answers *value* questions: which addresses can this load touch, can
+// this divisor be zero, how many times does this loop run, and — the
+// question MMT cares about — which instructions compute thread-invariant
+// values and therefore commit merged across contexts.
+//
+// Three surfaces are built on the engine: value-powered lints for
+// cmd/mmtcheck (out-of-bounds accesses, dead stores, unbounded loops,
+// zero divisors), the static cost model Estimate that ranks design
+// points for internal/dse before any simulation is spent, and a
+// cross-validation join against dynamic profiles (internal/prof) that
+// keeps the estimator honest in CI.
+package absint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Dep is the thread-dependence half of the domain: whether a value is
+// provably identical across hardware contexts (uniform) or may differ
+// (derived from tid, a per-thread stack pointer, or thread-varying
+// memory). Uniform values are exactly the ones MMT can fetch and execute
+// once for all threads (PAPER.md §2), so Dep is what the redundancy
+// estimate is made of.
+type Dep uint8
+
+const (
+	// DepUniform: the value is the same in every context.
+	DepUniform Dep = iota
+	// DepThread: the value may differ between contexts.
+	DepThread
+)
+
+func (d Dep) String() string {
+	if d == DepThread {
+		return "thread"
+	}
+	return "uniform"
+}
+
+func maxDep(a, b Dep) Dep {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// AbsVal abstracts one 64-bit register value: signed interval bounds on
+// the bit pattern, an optional stride (congruence) for value-set
+// analysis of addresses, and the thread-dependence flag.
+//
+// Invariants: Lo <= Hi; Stride == 0 iff Lo == Hi (a constant); when
+// Stride > 1 every concrete value v satisfies v ≡ Lo (mod Stride).
+type AbsVal struct {
+	Lo, Hi int64
+	Stride uint64
+	Dep    Dep
+}
+
+// Const returns the singleton abstract value.
+func Const(v int64) AbsVal { return AbsVal{Lo: v, Hi: v} }
+
+// Top returns the unconstrained value with the given dependence.
+func Top(dep Dep) AbsVal {
+	return AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64, Stride: 1, Dep: dep}
+}
+
+// Range returns the interval [lo, hi] with the given stride (0 or 1 for
+// no congruence information).
+func Range(lo, hi int64, stride uint64, dep Dep) AbsVal {
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: stride, Dep: dep})
+}
+
+// norm restores the representation invariants.
+func norm(v AbsVal) AbsVal {
+	if v.Lo == v.Hi {
+		v.Stride = 0
+	} else if v.Stride == 0 {
+		v.Stride = 1
+	}
+	return v
+}
+
+// IsConst reports whether v is a singleton, returning the value.
+func (v AbsVal) IsConst() (int64, bool) { return v.Lo, v.Lo == v.Hi }
+
+// IsTop reports whether the interval carries no bound at all.
+func (v AbsVal) IsTop() bool { return v.Lo == math.MinInt64 && v.Hi == math.MaxInt64 }
+
+// Contains reports whether concrete value x (as a signed bit pattern) is
+// admitted by v — the soundness relation the fuzzer checks.
+func (v AbsVal) Contains(x int64) bool {
+	if x < v.Lo || x > v.Hi {
+		return false
+	}
+	if v.Stride > 1 {
+		// The wrapped difference equals the true difference: Lo <= x.
+		return (uint64(x)-uint64(v.Lo))%v.Stride == 0
+	}
+	return true
+}
+
+func (v AbsVal) String() string {
+	if c, ok := v.IsConst(); ok {
+		return fmt.Sprintf("{%d %s}", c, v.Dep)
+	}
+	if v.IsTop() && v.Stride <= 1 {
+		return fmt.Sprintf("{⊤ %s}", v.Dep)
+	}
+	if v.Stride > 1 {
+		return fmt.Sprintf("{[%d,%d]/%d %s}", v.Lo, v.Hi, v.Stride, v.Dep)
+	}
+	return fmt.Sprintf("{[%d,%d] %s}", v.Lo, v.Hi, v.Dep)
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// join is the lattice least upper bound: widest bounds, the coarsest
+// congruence both sides satisfy (gcd of the strides and the anchor
+// distance), and the stronger dependence.
+func join(a, b AbsVal) AbsVal {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	var d uint64
+	if a.Lo >= b.Lo {
+		d = uint64(a.Lo) - uint64(b.Lo)
+	} else {
+		d = uint64(b.Lo) - uint64(a.Lo)
+	}
+	s := gcd(gcd(a.Stride, b.Stride), d)
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: s, Dep: maxDep(a.Dep, b.Dep)})
+}
+
+// widen jumps any still-moving bound to infinity so chains of joins
+// terminate: prev is the last stable state, next the freshly joined one.
+func widen(prev, next AbsVal) AbsVal {
+	lo, hi := next.Lo, next.Hi
+	if lo < prev.Lo {
+		lo = math.MinInt64
+	}
+	if hi > prev.Hi {
+		hi = math.MaxInt64
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: next.Stride, Dep: next.Dep})
+}
+
+// meetBounds refines v to [lo, hi], snapping the result onto v's
+// congruence grid. ok is false when the refinement is infeasible (the
+// branch edge cannot be taken with these operand values).
+func (v AbsVal) meetBounds(lo, hi int64) (AbsVal, bool) {
+	if lo < v.Lo {
+		lo = v.Lo
+	}
+	if hi > v.Hi {
+		hi = v.Hi
+	}
+	if v.Stride > 1 && lo <= hi {
+		if d := (uint64(lo) - uint64(v.Lo)) % v.Stride; d != 0 {
+			nl := uint64(lo) + (v.Stride - d)
+			// Snapping past MaxInt64 wraps negative; the lo > hi check below
+			// then rejects the (genuinely infeasible) refinement.
+			lo = int64(nl)
+		}
+		hi = int64(uint64(hi) - (uint64(hi)-uint64(v.Lo))%v.Stride)
+	}
+	if lo > hi {
+		return AbsVal{}, false
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: v.Stride, Dep: v.Dep}), true
+}
+
+// Overflow-checked corner arithmetic. Any overflowing corner makes the
+// abstract operation give up (Top) rather than model the wrap.
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOv(a, b int64) (int64, bool) {
+	s := a - b
+	if (b < 0 && s < a) || (b > 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	c := a * b
+	if c/b != a {
+		return 0, false
+	}
+	return c, true
+}
+
+// strideOf treats constants as stride 0, so gcd composes anchors
+// correctly (gcd(0, s) == s).
+func strideOf(v AbsVal) uint64 { return v.Stride }
+
+func addVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	lo, ok1 := addOv(a.Lo, b.Lo)
+	hi, ok2 := addOv(a.Hi, b.Hi)
+	if !ok1 || !ok2 {
+		return Top(dep)
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: gcd(strideOf(a), strideOf(b)), Dep: dep})
+}
+
+func subVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	lo, ok1 := subOv(a.Lo, b.Hi)
+	hi, ok2 := subOv(a.Hi, b.Lo)
+	if !ok1 || !ok2 {
+		return Top(dep)
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: gcd(strideOf(a), strideOf(b)), Dep: dep})
+}
+
+func mulVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	corners := [4][2]int64{{a.Lo, b.Lo}, {a.Lo, b.Hi}, {a.Hi, b.Lo}, {a.Hi, b.Hi}}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, c := range corners {
+		p, ok := mulOv(c[0], c[1])
+		if !ok {
+			return Top(dep)
+		}
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	// Stride survives multiplication by a constant: {l, l+s, ...} * c has
+	// stride |c|*s anchored at a corner.
+	var stride uint64
+	if c, ok := a.IsConst(); ok && c != 0 {
+		stride = mulStride(strideOf(b), c)
+	} else if c, ok := b.IsConst(); ok && c != 0 {
+		stride = mulStride(strideOf(a), c)
+	} else if lo != hi {
+		stride = 1
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: stride, Dep: dep})
+}
+
+func mulStride(s uint64, c int64) uint64 {
+	if s == 0 {
+		return 0
+	}
+	m := uint64(c)
+	if c < 0 {
+		m = uint64(-c)
+	}
+	hi, lo := bits.Mul64(s, m)
+	if hi != 0 {
+		return 1
+	}
+	return lo
+}
+
+// divVal models the ISA's trap-free signed division: divisor zero yields
+// all-ones (-1), and MinInt64/-1 wraps (Go semantics, matched by Exec).
+func divVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	zero := b.Contains(0)
+	if c, ok := b.IsConst(); ok && c == 0 {
+		return AbsVal{Lo: -1, Hi: -1, Dep: dep}
+	}
+	if a.Lo == math.MinInt64 && b.Contains(-1) {
+		return Top(dep) // MinInt64 / -1 wraps
+	}
+	var q AbsVal
+	switch {
+	case b.Lo >= 1 || b.Hi <= -1:
+		// Divisor sign is known; quotient extremes are at the corners
+		// (truncated division is monotone in each argument on these boxes).
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{b.Lo, b.Hi} {
+				if y == 0 {
+					continue
+				}
+				p := x / y
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+		}
+		q = norm(AbsVal{Lo: lo, Hi: hi, Stride: 1, Dep: dep})
+	default:
+		// Divisor interval spans zero: |q| <= max(|a.Lo|, |a.Hi|) since
+		// every nonzero divisor has magnitude >= 1.
+		m := a.Hi
+		if a.Lo != math.MinInt64 && -a.Lo > m {
+			m = -a.Lo
+		}
+		if m < 0 {
+			m = 0
+		}
+		q = norm(AbsVal{Lo: -m, Hi: m, Stride: 1, Dep: dep})
+	}
+	if zero {
+		q = join(q, AbsVal{Lo: -1, Hi: -1, Dep: dep})
+	}
+	return q
+}
+
+// remVal models trap-free remainder: divisor zero yields the dividend.
+func remVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	if c, ok := b.IsConst(); ok && c == 0 {
+		return norm(AbsVal{Lo: a.Lo, Hi: a.Hi, Stride: a.Stride, Dep: dep})
+	}
+	// |r| < max(|b.Lo|, |b.Hi|), sign follows the dividend.
+	m := b.Hi
+	if b.Lo != math.MinInt64 && -b.Lo > m {
+		m = -b.Lo
+	}
+	if m == math.MinInt64 || m <= 0 {
+		return Top(dep)
+	}
+	lo, hi := -(m - 1), m-1
+	if a.Lo >= 0 {
+		lo = 0
+		if a.Hi < hi {
+			hi = a.Hi
+		}
+	} else if a.Hi <= 0 {
+		hi = 0
+		if a.Lo > lo {
+			lo = a.Lo
+		}
+	}
+	r := norm(AbsVal{Lo: lo, Hi: hi, Stride: 1, Dep: dep})
+	if b.Contains(0) {
+		r = join(r, norm(AbsVal{Lo: a.Lo, Hi: a.Hi, Stride: a.Stride, Dep: dep}))
+	}
+	return r
+}
+
+func andVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	if x, ok := a.IsConst(); ok {
+		if y, ok := b.IsConst(); ok {
+			return AbsVal{Lo: int64(uint64(x) & uint64(y)), Hi: int64(uint64(x) & uint64(y)), Dep: dep}
+		}
+	}
+	// A mask with a clear sign bit clears the result's sign bit.
+	switch {
+	case a.Lo >= 0 && b.Lo >= 0:
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		return norm(AbsVal{Lo: 0, Hi: hi, Stride: 1, Dep: dep})
+	case a.Lo >= 0:
+		return norm(AbsVal{Lo: 0, Hi: a.Hi, Stride: 1, Dep: dep})
+	case b.Lo >= 0:
+		return norm(AbsVal{Lo: 0, Hi: b.Hi, Stride: 1, Dep: dep})
+	}
+	return Top(dep)
+}
+
+// maskAbove returns the all-ones bound covering x (x >= 0): the smallest
+// 2^k - 1 >= x.
+func maskAbove(x int64) int64 {
+	n := bits.Len64(uint64(x))
+	if n >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<n - 1
+}
+
+func orVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	if x, ok := a.IsConst(); ok {
+		if y, ok := b.IsConst(); ok {
+			v := int64(uint64(x) | uint64(y))
+			return AbsVal{Lo: v, Hi: v, Dep: dep}
+		}
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		lo := a.Lo
+		if b.Lo > lo {
+			lo = b.Lo
+		}
+		return norm(AbsVal{Lo: lo, Hi: maskAbove(a.Hi | b.Hi), Stride: 1, Dep: dep})
+	}
+	return Top(dep)
+}
+
+func xorVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	if x, ok := a.IsConst(); ok {
+		if y, ok := b.IsConst(); ok {
+			v := int64(uint64(x) ^ uint64(y))
+			return AbsVal{Lo: v, Hi: v, Dep: dep}
+		}
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return norm(AbsVal{Lo: 0, Hi: maskAbove(a.Hi | b.Hi), Stride: 1, Dep: dep})
+	}
+	return Top(dep)
+}
+
+func sllVal(a, sh AbsVal) AbsVal {
+	dep := maxDep(a.Dep, sh.Dep)
+	if c, ok := sh.IsConst(); ok {
+		k := uint(uint64(c) & 63)
+		if k == 0 {
+			return norm(AbsVal{Lo: a.Lo, Hi: a.Hi, Stride: a.Stride, Dep: dep})
+		}
+		if x, ok := a.IsConst(); ok {
+			v := int64(uint64(x) << k)
+			return AbsVal{Lo: v, Hi: v, Dep: dep}
+		}
+		if a.Lo >= 0 && a.Hi <= math.MaxInt64>>k {
+			s := strideOf(a)
+			if s<<k>>k == s {
+				s <<= k
+			} else {
+				s = 1
+			}
+			return norm(AbsVal{Lo: a.Lo << k, Hi: a.Hi << k, Stride: s, Dep: dep})
+		}
+		return Top(dep)
+	}
+	if x, ok := a.IsConst(); ok && x == 0 {
+		return AbsVal{Dep: dep}
+	}
+	return Top(dep)
+}
+
+func srlVal(a, sh AbsVal) AbsVal {
+	dep := maxDep(a.Dep, sh.Dep)
+	if c, ok := sh.IsConst(); ok {
+		k := uint(uint64(c) & 63)
+		if k == 0 {
+			return norm(AbsVal{Lo: a.Lo, Hi: a.Hi, Stride: a.Stride, Dep: dep})
+		}
+		if x, ok := a.IsConst(); ok {
+			v := int64(uint64(x) >> k)
+			return AbsVal{Lo: v, Hi: v, Dep: dep}
+		}
+		if a.Lo >= 0 {
+			return norm(AbsVal{Lo: a.Lo >> k, Hi: a.Hi >> k, Stride: 1, Dep: dep})
+		}
+		// A negative bit pattern shifts to a large positive value.
+		return norm(AbsVal{Lo: 0, Hi: math.MaxInt64, Stride: 1, Dep: dep})
+	}
+	if a.Lo >= 0 {
+		return norm(AbsVal{Lo: 0, Hi: a.Hi, Stride: 1, Dep: dep})
+	}
+	return Top(dep)
+}
+
+func sraVal(a, sh AbsVal) AbsVal {
+	dep := maxDep(a.Dep, sh.Dep)
+	if c, ok := sh.IsConst(); ok {
+		k := uint(uint64(c) & 63)
+		return norm(AbsVal{Lo: a.Lo >> k, Hi: a.Hi >> k, Stride: 1, Dep: dep})
+	}
+	// Arithmetic shifts move toward 0 (positive) or -1 (negative).
+	lo := a.Lo
+	if lo > 0 {
+		lo = 0
+	}
+	hi := a.Hi
+	if hi < -1 {
+		hi = -1
+	}
+	return norm(AbsVal{Lo: lo, Hi: hi, Stride: 1, Dep: dep})
+}
+
+func sltVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	switch {
+	case a.Hi < b.Lo:
+		return AbsVal{Lo: 1, Hi: 1, Dep: dep}
+	case a.Lo >= b.Hi:
+		return AbsVal{Dep: dep}
+	}
+	return norm(AbsVal{Lo: 0, Hi: 1, Stride: 1, Dep: dep})
+}
+
+func sltuVal(a, b AbsVal) AbsVal {
+	dep := maxDep(a.Dep, b.Dep)
+	// Unsigned order matches signed order when both operands share a sign
+	// bit state: both non-negative, or both negative bit patterns.
+	if (a.Lo >= 0 && b.Lo >= 0) || (a.Hi < 0 && b.Hi < 0) {
+		return sltVal(AbsVal{Lo: a.Lo, Hi: a.Hi, Stride: a.Stride, Dep: dep}, b)
+	}
+	return norm(AbsVal{Lo: 0, Hi: 1, Stride: 1, Dep: dep})
+}
+
+// boolInterval is the result of any comparison with an unknown outcome.
+func boolInterval(dep Dep) AbsVal {
+	return norm(AbsVal{Lo: 0, Hi: 1, Stride: 1, Dep: dep})
+}

@@ -1,0 +1,46 @@
+package absint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mmt/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden estimate file")
+
+// TestGoldenEstimates pins the cost model's per-kernel outputs: any
+// change to the domain, the transfer functions, the region partition or
+// the frequency model shows up as a diff here and must be committed
+// deliberately (run with -update to regenerate).
+func TestGoldenEstimates(t *testing.T) {
+	var buf bytes.Buffer
+	for _, a := range workloads.All() {
+		e, err := EstimateApp(a, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		fmt.Fprintf(&buf, "%s static=%d dyn=%.1f red=%.6f lvip=%.6f loads=%d divsites=%d\n",
+			a.Name, e.StaticInsts, e.DynInsts, e.Redundancy, e.LVIPPotential,
+			e.LVIPLoadPCs, len(e.Divergence))
+	}
+	path := filepath.Join("testdata", "estimates.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("estimates drifted from %s (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}

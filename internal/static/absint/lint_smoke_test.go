@@ -1,0 +1,29 @@
+package absint
+
+import (
+	"testing"
+
+	"mmt/internal/workloads"
+)
+
+// TestKernelsLintClean: the shipped kernels must stay below the CI
+// fail-on threshold (no warnings or errors) under the new lints.
+func TestKernelsLintClean(t *testing.T) {
+	apps := append(workloads.All(), workloads.MP()...)
+	for _, a := range apps {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			r, err := AnalyzeApp(a, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range Lint(r) {
+				if f.Sev > 0 { // info findings are fine
+					t.Errorf("%s", f)
+				} else {
+					t.Logf("%s", f)
+				}
+			}
+		})
+	}
+}

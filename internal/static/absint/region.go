@@ -1,0 +1,154 @@
+package absint
+
+import (
+	"math"
+	"sort"
+
+	"mmt/internal/isa"
+	"mmt/internal/prog"
+)
+
+// RegionKind classifies one alias-class partition of the address space.
+type RegionKind uint8
+
+const (
+	// RegionText covers the program's instruction bytes.
+	RegionText RegionKind = iota
+	// RegionData is a data-segment slice, one per leading symbol.
+	RegionData
+	// RegionMbox is the MP mailbox window.
+	RegionMbox
+	// RegionStack is the stack carve-out of every context.
+	RegionStack
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionText:
+		return "text"
+	case RegionData:
+		return "data"
+	case RegionMbox:
+		return "mbox"
+	case RegionStack:
+		return "stack"
+	}
+	return "region(?)"
+}
+
+// Region is one alias class: a named, non-overlapping address range
+// [Lo, Hi). Two accesses may alias only when their class sets intersect
+// (or either is unbounded).
+type Region struct {
+	Name string
+	Kind RegionKind
+	Lo   uint64
+	Hi   uint64 // exclusive
+}
+
+// buildRegions partitions the address space: the text segment, one data
+// class per leading symbol (value-set analysis resolves most addresses
+// to symbol+offset), the MP mailbox window, and the stack carve-out.
+func (r *Result) buildRegions() {
+	p := r.A.Prog
+	textEnd := p.Base + uint64(len(p.Insts))*isa.InstBytes
+	if len(p.Insts) > 0 {
+		r.Regions = append(r.Regions, Region{Name: "text", Kind: RegionText, Lo: p.Base, Hi: textEnd})
+	}
+
+	stackLo := prog.StackTop - uint64(r.Opts.threads())*prog.StackSize
+
+	// Partition [DataBase, stackLo) at every data-symbol address and at
+	// the mailbox window's edges.
+	cutsSet := map[uint64]bool{prog.DataBase: true, prog.MboxBase: true, prog.MboxBase + prog.MboxSize: true}
+	symAt := map[uint64]string{}
+	for _, name := range p.SortedSymbols() {
+		addr := p.Symbols[name]
+		if addr >= prog.DataBase && addr < stackLo {
+			cutsSet[addr] = true
+			if _, taken := symAt[addr]; !taken {
+				symAt[addr] = name
+			}
+		}
+	}
+	cuts := make([]uint64, 0, len(cutsSet)+1)
+	for c := range cutsSet { // mmtvet:ok — sorted immediately below
+		if c >= prog.DataBase && c < stackLo {
+			cuts = append(cuts, c)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = append(cuts, stackLo)
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		kind, name := RegionData, "data"
+		if lo >= prog.MboxBase && lo < prog.MboxBase+prog.MboxSize {
+			kind, name = RegionMbox, "mbox"
+		} else if s, ok := symAt[lo]; ok {
+			name = s
+		}
+		r.Regions = append(r.Regions, Region{Name: name, Kind: kind, Lo: lo, Hi: hi})
+	}
+	r.Regions = append(r.Regions, Region{Name: "stack", Kind: RegionStack, Lo: stackLo, Hi: prog.StackTop})
+	r.VaryingClass = make([]bool, len(r.Regions))
+}
+
+// classesOf maps an abstract address onto the region partitions it can
+// touch. unbounded is true when the interval is too wide to be a useful
+// value set (it spans beyond the mapped address space on either side).
+func (r *Result) classesOf(addr AbsVal) (classes []int, unbounded bool) {
+	if addr.Lo == math.MinInt64 || addr.Hi == math.MaxInt64 || addr.Lo < 0 {
+		return nil, true
+	}
+	lo, hi := uint64(addr.Lo), uint64(addr.Hi)
+	for i := range r.Regions {
+		reg := &r.Regions[i]
+		// An access reads/writes 8 bytes, so [lo, hi+8) is the touched span.
+		if hi+8 > reg.Lo && lo < reg.Hi {
+			classes = append(classes, i)
+		}
+	}
+	return classes, false
+}
+
+// markVarying records that a thread-dependent store may write these
+// classes; loads from them become thread-dependent. Text is exempt
+// (instruction fetch does not read the data image).
+func (r *Result) markVarying(classes []int, unbounded bool) {
+	if unbounded {
+		for i := range r.Regions {
+			if r.Regions[i].Kind != RegionText {
+				r.setVarying(i)
+			}
+		}
+		return
+	}
+	for _, c := range classes {
+		if r.Regions[c].Kind != RegionText {
+			r.setVarying(c)
+		}
+	}
+}
+
+func (r *Result) setVarying(class int) {
+	if !r.VaryingClass[class] {
+		r.VaryingClass[class] = true
+		r.anyVarying = true
+	}
+}
+
+// seedVarying marks the classes overlapping the option-supplied
+// thread-varying input ranges.
+func (r *Result) seedVarying() {
+	for _, rg := range r.Opts.Varying {
+		if rg.Hi <= rg.Lo {
+			continue
+		}
+		for i := range r.Regions {
+			reg := &r.Regions[i]
+			if rg.Hi > reg.Lo && rg.Lo < reg.Hi && reg.Kind != RegionText {
+				r.setVarying(i)
+			}
+		}
+	}
+}
